@@ -1,0 +1,85 @@
+"""Experiment E7 (ablation): merge strategies (Section 3.4.2).
+
+When values with policies are combined in ways character-level tracking
+cannot express (e.g. summing character codes into a checksum), RESIN merges
+policy sets via each policy's ``merge`` method.  The ablation compares the
+three strategies on a checksum-style workload:
+
+* union  (``UntrustedData``): the result stays tainted — safe default for
+  confidentiality/taint policies;
+* intersection (``AuthenticData``): the result keeps the policy only when
+  every operand had it — the right call for integrity policies;
+* a custom merge that refuses mixing entirely.
+"""
+
+import pytest
+
+from repro.core.exceptions import MergeError
+from repro.core.policy import Policy
+from repro.policies import AuthenticData, UntrustedData
+from repro.tracking.tainted_number import taint_int
+
+
+class NoMixPolicy(Policy):
+    """A policy that refuses to be combined with unannotated data."""
+
+    merge_strategy = "reject"
+
+
+def checksum(values):
+    total = values[0]
+    for value in values[1:]:
+        total = total + value
+    return total
+
+
+def _workload(policy, annotate_all):
+    """40 integers; either all of them or only half carry ``policy``."""
+    values = []
+    for index in range(40):
+        if annotate_all or index % 2 == 0:
+            values.append(taint_int(index, (policy,)))
+        else:
+            values.append(index)
+    return values
+
+
+@pytest.mark.parametrize("strategy,policy,annotate_all,expect_kept", [
+    ("union/all-tainted", UntrustedData("input"), True, True),
+    ("union/half-tainted", UntrustedData("input"), False, True),
+    ("intersect/all-authentic", AuthenticData("ca"), True, True),
+    ("intersect/half-authentic", AuthenticData("ca"), False, False),
+])
+def test_merge_strategy_semantics(benchmark, strategy, policy, annotate_all,
+                                  expect_kept, capsys):
+    benchmark.group = "ablation:merge"
+    values = _workload(policy, annotate_all)
+    total = benchmark(checksum, values)
+
+    kept = hasattr(total, "policies") and total.policies().has_type(type(policy))
+    benchmark.extra_info["policy_survives"] = kept
+    with capsys.disabled():
+        print(f"\n[{strategy:24}] checksum={int(total):4d} "
+              f"policy survives merge: {kept}")
+    assert kept == expect_kept
+    assert int(total) == sum(range(40))
+
+
+def test_reject_strategy_stops_the_merge(benchmark):
+    benchmark.group = "ablation:merge"
+    values = _workload(NoMixPolicy(), annotate_all=False)
+
+    def attempt():
+        try:
+            checksum(values)
+            return False
+        except MergeError:
+            return True
+
+    assert benchmark(attempt)
+
+
+def test_plain_checksum_baseline(benchmark):
+    """Baseline: the same checksum over plain integers (no tracking cost)."""
+    benchmark.group = "ablation:merge"
+    assert benchmark(checksum, list(range(40))) == sum(range(40))

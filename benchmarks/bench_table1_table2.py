@@ -1,0 +1,40 @@
+"""Experiments E1 and E2: the motivation statistics (Tables 1 and 2).
+
+These tables are published vulnerability statistics, not measurements of
+RESIN itself; the harness recomputes the percentages from the raw counts and
+prints both tables so they can be compared against the paper.
+"""
+
+from repro.security import vulndb
+
+
+def _build_tables():
+    table1 = vulndb.cve_2008_table()
+    table2 = vulndb.web_survey_table()
+    return table1, table2
+
+
+def test_table1_table2_report(benchmark, capsys):
+    table1, table2 = benchmark(_build_tables)
+
+    with capsys.disabled():
+        print()
+        print("=== Table 1: top CVE security vulnerabilities of 2008 ===")
+        print(f"{'Vulnerability':32} {'Count':>8} {'Percentage':>11}")
+        for category, count, percent in table1:
+            print(f"{category:32} {count:>8} {percent:>10.1f}%")
+        print(f"{'Total':32} {vulndb.cve_2008_total():>8} {100.0:>10.1f}%")
+        print(f"(classes addressable by RESIN assertions: "
+              f"{vulndb.addressable_fraction():.1%} of all 2008 CVEs)")
+        print()
+        print("=== Table 2: top Web site vulnerabilities of 2007 ===")
+        print(f"{'Vulnerability':32} {'Vulnerable sites':>17}")
+        for category, percent in table2:
+            print(f"{category:32} {percent:>16.1f}%")
+
+    # Shape checks against the paper.
+    table1_map = {name: (count, pct) for name, count, pct in table1}
+    assert table1_map["SQL injection"] == (1176, 20.4)
+    assert table1_map["Cross-site scripting"][1] == 14.0
+    assert vulndb.cve_2008_total() == 5768
+    assert dict(table2)["Cross-site scripting"] == 31.5

@@ -1,0 +1,35 @@
+"""Experiment E4: Table 5 microbenchmarks.
+
+Times each operation of Table 5 in the three configurations (unmodified /
+RESIN without policy / RESIN with an empty policy).  Compare groups with::
+
+    pytest benchmarks/bench_table5_micro.py --benchmark-only \
+        --benchmark-group-by=param:operation
+
+Absolute numbers are far from the paper's (a pure-Python tracking layer vs. a
+patched C interpreter); the shape to look for is the paper's: propagation
+operations gain a small overhead, policy-present merges cost more, file
+operations pay for xattr (de)serialization, and SQL dominates because every
+query is parsed and rewritten.
+"""
+
+import pytest
+
+from repro.evaluation import table5
+
+
+@pytest.fixture(scope="module")
+def suites():
+    return table5.build_suites()
+
+
+@pytest.mark.parametrize("operation", table5.OPERATIONS)
+@pytest.mark.parametrize("configuration", table5.CONFIGURATIONS)
+def test_table5_operation(benchmark, suites, configuration, operation):
+    suite = suites[configuration]
+    benchmark.group = f"table5:{operation}"
+    benchmark.extra_info["configuration"] = configuration
+    benchmark.extra_info["paper_microseconds"] = dict(zip(
+        table5.CONFIGURATIONS,
+        table5.PAPER_TABLE5_MICROSECONDS[operation]))
+    benchmark(suite.operation(operation))

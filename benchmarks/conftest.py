@@ -1,0 +1,12 @@
+"""Benchmark fixtures."""
+
+import pytest
+
+from repro.core.runtime import reset_default_filters
+
+
+@pytest.fixture(autouse=True)
+def _reset_global_default_filters():
+    reset_default_filters()
+    yield
+    reset_default_filters()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""End-to-end HotCRP walkthrough: the paper's running example.
+
+Covers the password-reminder disclosure (Data Flow Assertion 5), persistent
+policies through the SQL database, and the output-buffering pattern that
+turns the author-anonymity assertion into the application's access check
+(Section 5.5).
+
+Run with:  python examples/hotcrp_walkthrough.py
+"""
+
+from repro import DisclosureViolation
+from repro.apps.hotcrp import HotCRP
+from repro.environment import Environment
+
+
+def main() -> None:
+    site = HotCRP(Environment(), use_resin=True)
+    site.register_user("victim@example.org", "victim-password")
+    site.register_user("pc@example.org", "pc-password", is_pc=True)
+    site.register_user("chair@example.org", "chair-password", is_pc=True,
+                       priv_chair=True)
+    site.submit_paper(7, "A Paper Under Review",
+                      "This abstract is visible to the PC. " * 10,
+                      ["victim@example.org"], anonymous=True)
+
+    print("1. Normal password reminder goes out by e-mail:")
+    response = site.env.http_channel(user="victim@example.org")
+    print("  ", site.send_password_reminder("victim@example.org", response))
+    print("   outbox:", site.env.mail.outbox)
+
+    print("2. The email-preview + reminder combination is blocked:")
+    site.email_preview_mode = True
+    adversary = site.env.http_channel(user="adversary@example.org")
+    try:
+        site.send_password_reminder("victim@example.org", adversary)
+    except DisclosureViolation as exc:
+        print("   blocked:", exc)
+    print("   adversary's page contains the password?",
+          "victim-password" in adversary.body())
+
+    print("3. Paper page for a PC member (anonymous author list):")
+    page = site.paper_page(7, "pc@example.org").body()
+    print("   title shown:", "A Paper Under Review" in page)
+    print("   author hidden:", "victim@example.org" not in page,
+          "| shown as:", "Anonymous" in page and "Anonymous")
+
+    print("4. The same page for the program chair shows the authors:")
+    page = site.paper_page(7, "chair@example.org").body()
+    print("   authors visible:", "victim@example.org" in page)
+
+
+if __name__ == "__main__":
+    main()

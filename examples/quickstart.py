@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: the HotCRP password assertion of Figure 2.
+
+A password is annotated with a ``PasswordPolicy`` once, where it is set.
+RESIN then tracks the policy through string operations, e-mail composition
+and the database, and checks it wherever the data tries to leave the system:
+e-mailing the password to its owner is allowed, showing it to another user's
+browser is not — no matter which code path tried to do so.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (DisclosureViolation, PasswordPolicy, policy_add,
+                   policy_get)
+from repro.environment import Environment
+
+
+def main() -> None:
+    env = Environment()
+
+    # --- the assertion: one line where the password is first set -----------
+    password = policy_add("correct-horse-battery-staple",
+                          PasswordPolicy("alice@example.org"))
+    print("password policies:", policy_get(password))
+
+    # --- the policy follows the data --------------------------------------
+    reminder = "Dear Alice,\n\nYour password is " + password + "\n"
+    print("policies on composed e-mail:", policy_get(reminder))
+    print("characters that carry the policy:",
+          str(reminder)[33:33 + len("correct-horse-battery-staple")])
+
+    # --- allowed flow: e-mail to the account owner ------------------------
+    message = env.mail.send(to="alice@example.org",
+                            subject="Password reminder", body=reminder)
+    print("mail delivered to", message.to)
+
+    # --- the same flow through persistent storage -------------------------
+    env.db.execute_unchecked("CREATE TABLE users (email TEXT, password TEXT)")
+    env.db.query("INSERT INTO users (email, password) VALUES "
+                 "('alice@example.org', '" + password + "')")
+    row = env.db.query("SELECT password FROM users").rows[0]
+    print("policies after a database round-trip:", policy_get(row["password"]))
+
+    # --- forbidden flow: any other user's browser --------------------------
+    adversary_page = env.http_channel(user="mallory@example.org")
+    try:
+        adversary_page.write("debug dump: " + row["password"])
+    except DisclosureViolation as exc:
+        print("blocked:", exc)
+    print("adversary saw:", repr(adversary_page.body()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Server-side script injection prevention (Section 5.2, Figure 6).
+
+At install time, every legitimate script is tagged with a persistent
+``CodeApproval`` policy.  The interpreter's input filter is replaced so that
+only approved code may run.  An uploaded file never has the policy, so the
+attack fails whether the adversary reaches it via include, eval, or a direct
+HTTP request.
+
+Run with:  python examples/script_injection.py
+"""
+
+from repro import ScriptInjectionViolation, reset_default_filters
+from repro.apps.scriptapps import UploadApp
+from repro.environment import Environment
+
+
+def main() -> None:
+    app = UploadApp("photo-gallery", Environment(), use_resin=True)
+    try:
+        print("Running the application's own (approved) front page:")
+        app.run_index()
+        print("  ok")
+
+        print("Adversary uploads evil.php and requests it:")
+        app.upload("mallory", "evil.php",
+                   "globals_dict['pwned'] = True\n"
+                   "output('<h1>owned</h1>')")
+        try:
+            app.http_get("/photo-gallery/uploads/evil.php")
+        except ScriptInjectionViolation as exc:
+            print("  blocked:", exc)
+        print("  attacker code executed?",
+              bool(app.env.interpreter.globals.get("pwned", False)))
+    finally:
+        # The assertion replaces a process-wide default filter; restore it so
+        # other examples/tests are unaffected.
+        reset_default_filters()
+
+
+if __name__ == "__main__":
+    main()

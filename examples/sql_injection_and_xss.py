@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""SQL injection and cross-site scripting assertions (Section 5.3).
+
+User input is marked ``UntrustedData`` where it enters the application; the
+sanitizers add ``SQLSanitized`` / ``HTMLSanitized`` markers; filter objects
+on the SQL connection and the HTTP output refuse to let untrusted,
+unsanitized characters reach query structure or HTML.
+
+Run with:  python examples/sql_injection_and_xss.py
+"""
+
+from repro import InjectionViolation, concat
+from repro.environment import Environment
+from repro.security.assertions import (HTMLGuardFilter, SQLGuardFilter,
+                                       mark_untrusted)
+from repro.web.sanitize import html_escape, sql_quote
+
+
+def main() -> None:
+    env = Environment()
+    env.db.execute_unchecked(
+        "CREATE TABLE comments (author TEXT, body TEXT)")
+    env.db.add_filter(SQLGuardFilter("structure"))
+
+    # Everything the browser sends is untrusted.
+    author = mark_untrusted("bobby'); DELETE FROM comments --", "http-param")
+    body = mark_untrusted("<script>steal(document.cookie)</script>",
+                          "http-param")
+
+    print("1. Forgot to quote -> the SQL guard rejects the query:")
+    try:
+        env.db.query(concat(
+            "INSERT INTO comments (author, body) VALUES ('", author, "', '",
+            body, "')"))
+    except InjectionViolation as exc:
+        print("   blocked:", exc)
+
+    print("2. Properly quoted input is stored fine:")
+    env.db.query(concat(
+        "INSERT INTO comments (author, body) VALUES ('", sql_quote(author),
+        "', '", sql_quote(body), "')"))
+    print("   rows:", len(env.db.query("SELECT author FROM comments").rows))
+
+    print("3. Echoing the stored comment without escaping trips the XSS "
+          "assertion:")
+    page = env.http_channel(user="visitor")
+    page.add_filter(HTMLGuardFilter())
+    stored = env.db.query("SELECT author, body FROM comments").rows[0]
+    try:
+        page.write(concat("<div class='comment'>", stored["body"], "</div>"))
+    except InjectionViolation as exc:
+        print("   blocked:", exc)
+
+    print("4. Escaped output is allowed:")
+    page.write(concat("<div class='comment'>", html_escape(stored["body"]),
+                      "</div>"))
+    print("   body:", page.body())
+
+
+if __name__ == "__main__":
+    main()

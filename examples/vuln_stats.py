@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Reprint the motivation statistics (Tables 1 and 2 of the paper).
+
+Run with:  python examples/vuln_stats.py
+"""
+
+from repro.security import vulndb
+
+
+def main() -> None:
+    print("Table 1: top CVE security vulnerabilities of 2008")
+    print(f"{'Vulnerability':32} {'Count':>8} {'Percentage':>11}")
+    for category, count, percent in vulndb.cve_2008_table():
+        print(f"{category:32} {count:>8} {percent:>10.1f}%")
+    print(f"{'Total':32} {vulndb.cve_2008_total():>8} {100.0:>10.1f}%")
+    print()
+    print("Fraction of 2008 CVEs in classes RESIN assertions address: "
+          f"{vulndb.addressable_fraction():.1%}")
+    print()
+    print("Table 2: top Web site vulnerabilities of 2007 (WASC survey)")
+    print(f"{'Vulnerability':32} {'Vulnerable sites':>17}")
+    for category, percent in vulndb.web_survey_table():
+        print(f"{category:32} {percent:>16.1f}%")
+
+
+if __name__ == "__main__":
+    main()

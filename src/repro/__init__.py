@@ -1,0 +1,71 @@
+"""repro — a Python reproduction of RESIN (SOSP 2009).
+
+RESIN lets programmers specify application-level *data flow assertions* using
+three mechanisms: policy objects attached to data, runtime data tracking that
+propagates those policies, and filter objects that define data flow
+boundaries where assertions are checked.
+
+Quickstart::
+
+    from repro import PasswordPolicy, policy_add, Environment
+
+    env = Environment()
+    password = policy_add("s3cret", PasswordPolicy("u@example.org"))
+    env.mail.send(to="u@example.org", subject="reminder",
+                  body="your password is " + password)   # allowed
+    env.http.write(password)                              # raises
+"""
+
+from .core import (AccessDenied, DeclassifyFilter, DefaultFilter,
+                   DisclosureViolation, Filter, FilterChain, FilterContext,
+                   FilterError, InjectionViolation, MergeError, OutputBuffer,
+                   Policy, PolicySet, PolicyViolation, ResinError,
+                   ScriptInjectionViolation, check_export, filter_of,
+                   guard_function, has_policy, policy_add, policy_get,
+                   policy_remove, register_policy_class,
+                   reset_default_filters, set_default_filter_factory, taint,
+                   untaint)
+from .policies import (ACL, AuthenticData, CodeApproval, HTMLSanitized,
+                       JSONSanitized, PagePolicy, PasswordPolicy,
+                       ReadAccessPolicy, SecretPolicy, SQLSanitized,
+                       UntrustedData)
+from .tracking import (RangeMap, TaintedBytes, TaintedFloat, TaintedInt,
+                       TaintedStr, concat, interpolate, policies_of,
+                       taint_bytes, taint_float, taint_int, taint_str,
+                       to_tainted_str)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Policy", "PolicySet", "Filter", "DefaultFilter", "DeclassifyFilter",
+    "FilterChain", "FilterContext", "OutputBuffer",
+    "policy_add", "policy_remove", "policy_get", "has_policy", "taint",
+    "untaint", "check_export", "guard_function", "filter_of",
+    "register_policy_class", "set_default_filter_factory",
+    "reset_default_filters",
+    # exceptions
+    "ResinError", "PolicyViolation", "AccessDenied", "DisclosureViolation",
+    "InjectionViolation", "ScriptInjectionViolation", "MergeError",
+    "FilterError",
+    # policies
+    "PasswordPolicy", "SecretPolicy", "PagePolicy", "ReadAccessPolicy",
+    "ACL", "UntrustedData", "SQLSanitized", "HTMLSanitized", "JSONSanitized",
+    "AuthenticData", "CodeApproval",
+    # tracking
+    "TaintedStr", "TaintedBytes", "TaintedInt", "TaintedFloat", "RangeMap",
+    "taint_str", "taint_bytes", "taint_int", "taint_float", "policies_of",
+    "to_tainted_str", "concat", "interpolate",
+    # environment (imported lazily, see below)
+    "Environment",
+]
+
+
+def __getattr__(name):
+    # Environment pulls in every substrate; import it lazily so that
+    # ``import repro`` stays cheap for users who only need the core API.
+    if name == "Environment":
+        from .environment import Environment
+        return Environment
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

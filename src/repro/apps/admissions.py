@@ -1,0 +1,108 @@
+"""MIT EECS graduate admissions — a miniature review system.
+
+The paper evaluates a generic SQL-injection assertion on MIT's internal
+graduate-admissions application (18,500 lines of Python): the original
+programmers sanitized most inputs, but the assertion revealed three
+previously-unknown SQL injection vulnerabilities in the admission
+committee's *internal* user interface.
+
+This miniature version reproduces that shape: the public-facing search is
+properly quoted, while three internal committee screens interpolate request
+parameters into SQL without quoting.  The RESIN assertion (9 lines in the
+paper) marks request input untrusted and stacks a
+:class:`~repro.security.assertions.SQLGuardFilter` on the database
+connection; it blocks all three injections without knowing where they are.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..channels.sqlchan import Database
+from ..environment import Environment
+from ..security.assertions import SQLGuardFilter, mark_untrusted
+from ..tracking.propagation import concat, to_tainted_str
+from ..web.sanitize import sql_quote
+
+
+class AdmissionsSystem:
+    """The admissions review application."""
+
+    def __init__(self, env: Optional[Environment] = None,
+                 use_resin: bool = True):
+        self.env = env if env is not None else Environment()
+        self.use_resin = use_resin
+        self._setup_schema()
+        if use_resin:
+            self.install_assertion()
+
+    def install_assertion(self) -> None:
+        """The 9-line SQL-injection assertion: every query issued by the
+        application flows through a structure-checking SQL guard."""
+        self.env.db.add_filter(SQLGuardFilter("structure"))
+
+    def _setup_schema(self) -> None:
+        self.env.db.execute_unchecked(
+            "CREATE TABLE IF NOT EXISTS applicants "
+            "(applicant_id INTEGER, name TEXT, area TEXT, gre INTEGER, "
+            "decision TEXT, notes TEXT)")
+
+    # -- data entry ---------------------------------------------------------------------
+
+    def add_applicant(self, applicant_id: int, name: str, area: str,
+                      gre: int, decision: str = "pending",
+                      notes: str = "") -> None:
+        self.env.db.query(concat(
+            "INSERT INTO applicants (applicant_id, name, area, gre, decision, "
+            "notes) VALUES (", str(int(applicant_id)), ", '", sql_quote(name),
+            "', '", sql_quote(area), "', ", str(int(gre)), ", '",
+            sql_quote(decision), "', '", sql_quote(notes), "')"))
+
+    def _taint(self, value):
+        """Request parameters reach the handlers as untrusted data when the
+        assertion is enabled (the mark-inputs half of the assertion)."""
+        value = to_tainted_str(value)
+        return mark_untrusted(value, "http-param") if self.use_resin else value
+
+    # -- the public, correctly-written screen ----------------------------------------------
+
+    def search_by_name(self, name) -> List:
+        """Public search screen: input is properly quoted."""
+        name = self._taint(name)
+        result = self.env.db.query(concat(
+            "SELECT applicant_id, name, area FROM applicants WHERE name = '",
+            sql_quote(name), "'"))
+        return list(result.rows)
+
+    # -- the three vulnerable internal committee screens -------------------------------------
+
+    def filter_by_area(self, area) -> List:
+        """Internal screen #1 — the area filter is interpolated raw."""
+        area = self._taint(area)
+        result = self.env.db.query(concat(
+            "SELECT applicant_id, name, gre FROM applicants WHERE area = '",
+            area, "'"))                                     # BUG: no quoting
+        return list(result.rows)
+
+    def lookup_applicant(self, applicant_id) -> List:
+        """Internal screen #2 — the applicant id is interpolated into a
+        numeric context with no quoting at all."""
+        applicant_id = self._taint(applicant_id)
+        result = self.env.db.query(concat(
+            "SELECT applicant_id, name, notes FROM applicants "
+            "WHERE applicant_id = ", applicant_id))          # BUG: no quoting
+        return list(result.rows)
+
+    def update_decision(self, applicant_id, decision) -> int:
+        """Internal screen #3 — the decision text is interpolated raw."""
+        decision = self._taint(decision)
+        result = self.env.db.query(concat(
+            "UPDATE applicants SET decision = '", decision,  # BUG: no quoting
+            "' WHERE applicant_id = ", str(int(applicant_id))))
+        return result.rowcount
+
+    # -- helpers used by the harness ----------------------------------------------------------
+
+    def decisions(self) -> List:
+        return list(self.env.db.query(
+            "SELECT applicant_id, decision FROM applicants").rows)

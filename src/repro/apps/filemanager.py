@@ -1,0 +1,139 @@
+"""File Thingie and PHP Navigator — miniature web file managers.
+
+Both applications let each user manage files under a personal home
+directory.  Both contain their own (incomplete) checks on user-supplied file
+names, and both have a *newly-discovered* directory traversal bug
+(Section 6.2): a crafted ``..`` path escapes the home directory on the write
+path, letting an adversary overwrite another user's files or application
+configuration.
+
+The RESIN assertion (19 and 17 lines in the paper) is a write-access filter
+(Data Flow Assertion 2): a persistent :class:`WriteAccessFilter` on the data
+root only allows a write when the target path lies inside the authenticated
+user's home directory.  The assertion reuses the applications' notion of a
+home directory, and catches the traversal no matter which code path produced
+the bad file name.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.exceptions import FileSystemError, HTTPError
+from ..environment import Environment
+from ..fs import path as fspath
+from ..security.assertions import WriteAccessFilter
+from ..tracking.propagation import to_tainted_str
+
+
+class BaseFileManager:
+    """Shared plumbing of the two file managers."""
+
+    #: Root directory holding every user's home directory.
+    DATA_ROOT = "/srv/files"
+
+    #: Name of the application (used in the data-root path).
+    name = "filemanager"
+
+    def __init__(self, env: Optional[Environment] = None,
+                 use_resin: bool = True):
+        self.env = env if env is not None else Environment()
+        self.use_resin = use_resin
+        self.data_root = fspath.join(self.DATA_ROOT, self.name)
+        if not self.env.fs.exists(self.data_root):
+            self.env.fs.mkdir(self.data_root, parents=True)
+        if use_resin:
+            self._install_write_assertion()
+
+    # -- the RESIN assertion ----------------------------------------------------------
+
+    def _install_write_assertion(self) -> None:
+        """The write-access assertion: any write below the data root must
+        stay inside the current user's home directory."""
+
+        def allowed(user: Optional[str], operation: str, path: str) -> bool:
+            if user is None:
+                return False
+            return fspath.is_inside(path, self.home_dir(user))
+
+        self.env.fs.set_persistent_filter(
+            self.data_root, WriteAccessFilter(allowed=allowed))
+
+    # -- application logic ---------------------------------------------------------------
+
+    def home_dir(self, user: str) -> str:
+        return fspath.join(self.data_root, user)
+
+    def create_account(self, user: str) -> None:
+        home = self.home_dir(user)
+        if not self.env.fs.exists(home):
+            self.env.fs.set_request_context(user=user)
+            try:
+                self.env.fs.mkdir(home, parents=True)
+            finally:
+                self.env.fs.clear_request_context()
+
+    def _resolve(self, user: str, filename: str) -> str:
+        """Resolve a user-supplied file name — subclasses implement the
+        application's own (buggy) confinement check here."""
+        raise NotImplementedError
+
+    def save_file(self, user: str, filename: str, content) -> str:
+        """Write a file on behalf of ``user``; returns the resolved path."""
+        target = self._resolve(user, filename)
+        self.env.fs.set_request_context(user=user)
+        try:
+            parent = fspath.dirname(target)
+            if not self.env.fs.exists(parent):
+                self.env.fs.mkdir(parent, parents=True)
+            self.env.fs.write_text(target, to_tainted_str(content))
+        finally:
+            self.env.fs.clear_request_context()
+        return target
+
+    def read_file(self, user: str, filename: str):
+        target = self._resolve(user, filename)
+        if not self.env.fs.isfile(target):
+            raise HTTPError(404, f"no such file: {filename}")
+        return self.env.fs.read_text(target)
+
+    def list_files(self, user: str):
+        home = self.home_dir(user)
+        if not self.env.fs.isdir(home):
+            return []
+        return self.env.fs.listdir(home)
+
+
+class FileThingie(BaseFileManager):
+    """File Thingie's confinement check rejects absolute paths and file names
+    containing a slash — but the *rename/upload* path first strips a leading
+    directory component, which re-opens the door to ``..`` sequences."""
+
+    name = "filethingie"
+
+    def _resolve(self, user: str, filename: str) -> str:
+        filename = str(filename)
+        if filename.startswith("/"):
+            raise HTTPError(400, "absolute paths are not allowed")
+        # BUG: the check only looks at the *first* path component; a name
+        # like "docs/../../victim/notes.txt" sails through.
+        first_component = filename.split("/", 1)[0]
+        if first_component == "..":
+            raise HTTPError(400, "invalid file name")
+        return fspath.join(self.home_dir(user), filename)
+
+
+class PHPNavigator(BaseFileManager):
+    """PHP Navigator strips ``../`` prefixes from the supplied name — but
+    only non-recursively, so ``....//`` collapses back into ``../`` after one
+    pass (a classic filter-evasion bug)."""
+
+    name = "phpnavigator"
+
+    def _resolve(self, user: str, filename: str) -> str:
+        filename = str(filename)
+        if filename.startswith("/"):
+            raise HTTPError(400, "absolute paths are not allowed")
+        # BUG: single-pass removal of "../" can be defeated by "....//".
+        sanitized = filename.replace("../", "")
+        return fspath.join(self.home_dir(user), sanitized)

@@ -1,0 +1,80 @@
+"""myPHPscripts "login session" — a miniature drop-in login library.
+
+The real library stores its users' passwords in a plain-text file located in
+the same HTTP-accessible directory as its PHP files (CVE-2008-5855): an
+adversary simply requests the password file with a browser.
+
+The RESIN assertion (6 lines in the paper) annotates each password with a
+policy that forbids any disclosure (the myPHPscripts variant of the HotCRP
+password assertion — the only difference is that this one does not allow
+e-mail reminders, Section 6.3).  Because policies persist into the file's
+extended attributes, a RESIN-aware web server refuses to serve the password
+file even though it sits inside the document root.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.api import policy_add
+from ..environment import Environment
+from ..fs import path as fspath
+from ..policies.password import PasswordPolicy
+from ..tracking.propagation import concat, to_tainted_str
+from ..web.app import WebApplication
+from ..web.request import Request
+
+
+class LoginLibrary:
+    """The login library plus the site that embeds it."""
+
+    #: Document root of the site embedding the library; the library keeps its
+    #: data file inside it (that is the bug).
+    DOCROOT = "/www/site"
+
+    #: The plain-text credential store, inside the document root.
+    PASSWORD_FILE = "/www/site/loginlib/users.txt"
+
+    def __init__(self, env: Optional[Environment] = None,
+                 use_resin: bool = True):
+        self.env = env if env is not None else Environment()
+        self.use_resin = use_resin
+        self.web = WebApplication(self.env, name="loginlib-site")
+        self.web.add_static_mount("/site", self.DOCROOT)
+        directory = fspath.dirname(self.PASSWORD_FILE)
+        if not self.env.fs.exists(directory):
+            self.env.fs.mkdir(directory, parents=True)
+        if not self.env.fs.exists(self.PASSWORD_FILE):
+            self.env.fs.write_text(self.PASSWORD_FILE, "")
+
+    # -- the library API ------------------------------------------------------------
+
+    def register(self, username: str, password: str) -> None:
+        """Add a user to the plain-text credential file."""
+        password = to_tainted_str(password)
+        if self.use_resin:
+            # The 6-line assertion: this password may never be disclosed
+            # (no e-mail reminders in this library, so no allowed channel —
+            # the account name is not an e-mail address).
+            password = policy_add(
+                password, PasswordPolicy(username, allow_chair=False))
+        line = concat(username, ":", password, "\n")
+        self.env.fs.write_text(self.PASSWORD_FILE, line, append=True)
+
+    def authenticate(self, username: str, password: str) -> bool:
+        content = self.env.fs.read_text(self.PASSWORD_FILE)
+        for line in content.splitlines():
+            if not line:
+                continue
+            stored_user, _, stored_password = line.partition(":")
+            if str(stored_user) == username:
+                return str(stored_password) == str(password)
+        return False
+
+    # -- the attack surface ----------------------------------------------------------------
+
+    def http_get(self, path: str, user: Optional[str] = None):
+        """Serve an HTTP request against the embedding site (static files
+        come from the document root — including, on the unprotected site,
+        the password file)."""
+        return self.web.handle(Request(path, user=user))

@@ -1,0 +1,19 @@
+"""I/O channels and their default filters."""
+
+from .base import Channel, CollectingChannel
+from .codeimport import CodeChannel
+from .httpout import HTTPOutputChannel
+from .mail import EmailChannel, MailTransport, Message
+from .socketchan import PipeChannel, SocketChannel
+from .sqlchan import (Database, apply_cell_policies, is_policy_column,
+                      policy_column, serialize_cell_policies)
+
+__all__ = [
+    "Channel", "CollectingChannel",
+    "SocketChannel", "PipeChannel",
+    "HTTPOutputChannel",
+    "EmailChannel", "MailTransport", "Message",
+    "CodeChannel",
+    "Database", "policy_column", "is_policy_column",
+    "serialize_cell_policies", "apply_cell_policies",
+]

@@ -1,0 +1,254 @@
+"""SQL channel: policy persistence across the database.
+
+The paper attaches a default filter object to the function that issues SQL
+queries, and uses it to rewrite queries and results (Figure 4):
+
+* ``CREATE TABLE`` gains one extra ``__policy_<col>`` column per data column;
+* writes (``INSERT`` / ``UPDATE``) store the serialized policies of each cell
+  value into the corresponding policy column;
+* reads (``SELECT``) also fetch the policy columns and re-attach the
+  de-serialized policies to each cell of the result.
+
+``Database`` below is the application-facing handle.  Queries are issued as
+(possibly tainted) SQL text; the query text itself flows through the
+channel's filter chain as a guarded function call, which is where an
+application-supplied SQL-injection filter interposes (Section 5.3).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, List, Optional
+
+from ..core.context import FilterContext
+from ..core.exceptions import SQLError
+from ..core.filter import Filter, FilterChain
+from ..core.runtime import make_default_filter
+from ..core.serialization import (deserialize_policyset, deserialize_rangemap,
+                                  serialize_policyset, serialize_rangemap)
+from ..sql import nodes
+from ..sql.engine import Engine, Result, Row
+from ..sql.parser import parse
+from ..tracking.propagation import policies_of
+from ..tracking.tainted_number import TaintedFloat, TaintedInt
+from ..tracking.tainted_str import TaintedStr
+
+#: Prefix of the hidden policy columns.
+POLICY_COLUMN_PREFIX = "__policy_"
+
+
+def policy_column(column: str) -> str:
+    return POLICY_COLUMN_PREFIX + column
+
+
+def is_policy_column(column: str) -> bool:
+    return column.startswith(POLICY_COLUMN_PREFIX)
+
+
+def serialize_cell_policies(value: Any) -> Optional[str]:
+    """Serialize the policies of one cell value to a JSON string, or ``None``
+    if the value carries no policy."""
+    if isinstance(value, TaintedStr):
+        if value.rangemap.is_empty():
+            return None
+        return json.dumps({"kind": "rangemap",
+                           "map": _rangemap_record(value.rangemap)})
+    if isinstance(value, (TaintedInt, TaintedFloat)):
+        policies = value.policies()
+        if not policies:
+            return None
+        return json.dumps({"kind": "policyset",
+                           "policies": serialize_policyset(policies)})
+    policies = policies_of(value)
+    if not policies:
+        return None
+    return json.dumps({"kind": "policyset",
+                       "policies": serialize_policyset(policies)})
+
+
+def apply_cell_policies(value: Any, serialized: Optional[str]) -> Any:
+    """Re-attach the policies stored in ``serialized`` to ``value``."""
+    if not serialized or value is None:
+        return value
+    record = json.loads(serialized)
+    if record.get("kind") == "rangemap" and isinstance(value, str):
+        rangemap = deserialize_rangemap(record["map"])
+        if rangemap.length != len(value):
+            rangemap = rangemap.spread(len(value)).with_length(len(value))
+        return TaintedStr(str(value), rangemap)
+    policies = deserialize_policyset(record.get("policies", []))
+    if isinstance(value, str):
+        result = TaintedStr(str(value))
+        for policy in policies:
+            result = result.with_policy(policy)
+        return result
+    if isinstance(value, int) and not isinstance(value, bool):
+        return TaintedInt(value, policies)
+    if isinstance(value, float):
+        return TaintedFloat(value, policies)
+    return value
+
+
+def _rangemap_record(rangemap) -> dict:
+    return serialize_rangemap(rangemap)
+
+
+class Database:
+    """A RESIN-aware database connection."""
+
+    def __init__(self, engine: Optional[Engine] = None,
+                 persist_policies: bool = True,
+                 context: Optional[dict] = None):
+        self.engine = engine if engine is not None else Engine()
+        ctx = FilterContext(type="sql")
+        if context:
+            ctx.update(context)
+        default = make_default_filter("sql", ctx)
+        self.filter = FilterChain([default], ctx)
+        self.context = ctx
+        self.persist_policies = persist_policies
+
+    # -- filter management ---------------------------------------------------------
+
+    def add_filter(self, flt: Filter) -> None:
+        """Stack an application filter (e.g. a SQL-injection assertion) on
+        the query path."""
+        flt.context = self.context
+        self.filter.append(flt)
+
+    # -- query API -----------------------------------------------------------------------
+
+    def query(self, sql) -> Result:
+        """Issue one SQL statement.
+
+        The raw query text is passed through the channel's filter chain as a
+        guarded function call before it is parsed and executed, so stacked
+        filters see exactly what the application sent (including the
+        character-level policies of any interpolated user input).
+        """
+        return self.filter.filter_func(self._execute, (sql,), {})
+
+    def execute_unchecked(self, sql) -> Result:
+        """Execute a statement bypassing stacked filters (still persisting
+        policies).  Intended for schema setup in tests and installers."""
+        return self._execute(sql)
+
+    # -- execution with policy persistence ---------------------------------------------------
+
+    def _execute(self, sql) -> Result:
+        statement = parse(sql) if isinstance(sql, str) else sql
+        if not self.persist_policies:
+            return self.engine.execute(statement)
+        if isinstance(statement, nodes.CreateTable):
+            return self._create(statement)
+        if isinstance(statement, nodes.Insert):
+            return self._insert(statement)
+        if isinstance(statement, nodes.Update):
+            return self._update(statement)
+        if isinstance(statement, nodes.Select):
+            return self._select(statement)
+        return self.engine.execute(statement)
+
+    def _create(self, stmt: nodes.CreateTable) -> Result:
+        augmented_columns: List[nodes.ColumnDef] = []
+        for column in stmt.columns:
+            augmented_columns.append(column)
+        for column in stmt.columns:
+            if not is_policy_column(column.name):
+                augmented_columns.append(
+                    nodes.ColumnDef(policy_column(column.name), "TEXT"))
+        return self.engine.execute(nodes.CreateTable(
+            stmt.table, augmented_columns, stmt.if_not_exists))
+
+    def _insert(self, stmt: nodes.Insert) -> Result:
+        columns = list(stmt.columns)
+        new_rows: List[List[nodes.Expr]] = []
+        policy_columns = [policy_column(c) for c in stmt.columns
+                          if not is_policy_column(c)]
+        for row in stmt.rows:
+            new_row = list(row)
+            for column, expr in zip(stmt.columns, row):
+                if is_policy_column(column):
+                    continue
+                serialized = None
+                if isinstance(expr, nodes.Literal):
+                    serialized = serialize_cell_policies(expr.value)
+                new_row.append(nodes.Literal(serialized))
+            new_rows.append(new_row)
+        table = self.engine.tables.get(stmt.table)
+        if table is not None:
+            for name in policy_columns:
+                if not table.has_column(name):
+                    table.add_column(nodes.ColumnDef(name, "TEXT"))
+        return self.engine.execute(
+            nodes.Insert(stmt.table, columns + policy_columns, new_rows))
+
+    def _update(self, stmt: nodes.Update) -> Result:
+        assignments = list(stmt.assignments)
+        for column, expr in stmt.assignments:
+            if is_policy_column(column):
+                continue
+            serialized = None
+            if isinstance(expr, nodes.Literal):
+                serialized = serialize_cell_policies(expr.value)
+            table = self.engine.tables.get(stmt.table)
+            if table is not None and not table.has_column(policy_column(column)):
+                table.add_column(nodes.ColumnDef(policy_column(column), "TEXT"))
+            assignments.append((policy_column(column),
+                                nodes.Literal(serialized)))
+        return self.engine.execute(
+            nodes.Update(stmt.table, assignments, stmt.where))
+
+    def _select(self, stmt: nodes.Select) -> Result:
+        if stmt.table is None or stmt.table not in self.engine.tables:
+            return self.engine.execute(stmt)
+        table = self.engine.tables[stmt.table]
+        data_columns = [c for c in table.column_names if not is_policy_column(c)]
+
+        items: List[nodes.SelectItem] = []
+        annotate: List[tuple] = []  # (output_name, policy_output_name)
+        for item in stmt.items:
+            if isinstance(item.expr, nodes.Star):
+                for name in data_columns:
+                    items.append(nodes.SelectItem(nodes.ColumnRef(name)))
+                    annotate.append((name, self._add_policy_item(
+                        items, table, name)))
+            else:
+                items.append(item)
+                if (isinstance(item.expr, nodes.ColumnRef)
+                        and not is_policy_column(item.expr.name)
+                        and table.has_column(policy_column(item.expr.name))):
+                    annotate.append((item.output_name, self._add_policy_item(
+                        items, table, item.expr.name, item.output_name)))
+
+        augmented = nodes.Select(items, stmt.table, stmt.where, stmt.order_by,
+                                 stmt.limit, stmt.offset, stmt.distinct)
+        raw = self.engine.execute(augmented)
+
+        requested = [item.output_name for item in stmt.items
+                     if not isinstance(item.expr, nodes.Star)]
+        if any(isinstance(item.expr, nodes.Star) for item in stmt.items):
+            requested = data_columns + [
+                item.output_name for item in stmt.items
+                if not isinstance(item.expr, nodes.Star)]
+
+        out_rows: List[Row] = []
+        for row in raw.rows:
+            values = {}
+            for column in requested:
+                values[column] = row[column] if column in row else None
+            for data_name, policy_name in annotate:
+                if policy_name and policy_name in row:
+                    values[data_name] = apply_cell_policies(
+                        values.get(data_name), row[policy_name])
+            out_rows.append(Row(requested, [values[c] for c in requested]))
+        return Result(requested, out_rows)
+
+    def _add_policy_item(self, items: List[nodes.SelectItem], table,
+                         column: str, alias_base: Optional[str] = None):
+        name = policy_column(column)
+        if not table.has_column(name):
+            return None
+        alias = policy_column(alias_base) if alias_base else name
+        items.append(nodes.SelectItem(nodes.ColumnRef(name), alias))
+        return alias

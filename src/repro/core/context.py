@@ -1,0 +1,65 @@
+"""Filter contexts.
+
+A filter object carries a *context* — a hash table describing the specific
+I/O channel it guards (Section 3.2.1).  The runtime pre-populates the context
+of default filters (e.g. the recipient address of an outgoing e-mail channel,
+the authenticated user of an HTTP connection) and the application may add its
+own key/value pairs.  The context is passed as the argument to every
+``export_check`` call.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+
+class FilterContext(dict):
+    """A mutable mapping describing a data flow boundary.
+
+    Well-known keys used by the default filters and the standard policies:
+
+    ``type``
+        The channel type: ``'http'``, ``'email'``, ``'file'``, ``'socket'``,
+        ``'pipe'``, ``'sql'``, ``'code'``.
+    ``email``
+        Recipient address of an outgoing e-mail channel.
+    ``user``
+        Authenticated user on the other end of an HTTP connection.
+    ``path``
+        Path of a file channel.
+    ``url``
+        Request URL of an HTTP channel.
+    """
+
+    def __init__(self, type: Optional[str] = None, **kwargs: Any):
+        super().__init__()
+        if type is not None:
+            self["type"] = type
+        self.update(kwargs)
+
+    @property
+    def channel_type(self) -> Optional[str]:
+        return self.get("type")
+
+    def child(self, **overrides: Any) -> "FilterContext":
+        """A copy of this context with ``overrides`` applied; used when a
+        channel forks (e.g. per-request HTTP output)."""
+        ctx = FilterContext()
+        ctx.update(self)
+        ctx.update(overrides)
+        return ctx
+
+    def describe(self) -> str:
+        """Human-readable one-line description (used in violation messages)."""
+        parts = [f"{key}={self[key]!r}" for key in sorted(self)]
+        return ", ".join(parts) or "<empty context>"
+
+
+def as_context(value: Optional[Mapping[str, Any]]) -> FilterContext:
+    """Coerce ``value`` into a :class:`FilterContext`."""
+    if isinstance(value, FilterContext):
+        return value
+    ctx = FilterContext()
+    if value:
+        ctx.update(value)
+    return ctx

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the RESIN runtime.
+
+The paper's filter/policy protocol signals an assertion failure by raising an
+exception from ``export_check`` (Section 3.1).  All exceptions raised by the
+reproduction derive from :class:`ResinError` so applications can install a
+single handler around output-generating code (the "output buffering" pattern
+of Section 5.5).
+"""
+
+from __future__ import annotations
+
+
+class ResinError(Exception):
+    """Base class for all RESIN runtime errors."""
+
+
+class PolicyViolation(ResinError):
+    """A data flow assertion failed.
+
+    Raised by ``Policy.export_check`` (or by a filter object) when data with a
+    policy is about to cross a data flow boundary that the policy does not
+    allow.  The runtime aborts the offending write and propagates this
+    exception to the application.
+    """
+
+    def __init__(self, message: str = "data flow assertion failed", *,
+                 policy=None, context=None):
+        super().__init__(message)
+        self.policy = policy
+        self.context = dict(context) if context else {}
+
+
+class AccessDenied(PolicyViolation):
+    """An access-control data flow assertion failed (read or write ACL)."""
+
+
+class DisclosureViolation(PolicyViolation):
+    """Confidential data (e.g. a password) was about to be disclosed."""
+
+
+class InjectionViolation(PolicyViolation):
+    """Untrusted data reached a SQL query, HTML output or other sink
+    without passing through the required sanitizer."""
+
+
+class ScriptInjectionViolation(PolicyViolation):
+    """Code lacking a ``CodeApproval`` policy was about to be interpreted."""
+
+
+class MergeError(ResinError):
+    """A policy refused to be merged with another operand's policies."""
+
+    def __init__(self, message: str = "policies cannot be merged", *,
+                 policy=None, other=None):
+        super().__init__(message)
+        self.policy = policy
+        self.other = other
+
+
+class FilterError(ResinError):
+    """A filter object is mis-configured or was used incorrectly."""
+
+
+class ChannelError(ResinError):
+    """An I/O channel was used after being closed, or is mis-configured."""
+
+
+class SerializationError(ResinError):
+    """A persistent policy could not be serialized or de-serialized."""
+
+
+class SQLError(ResinError):
+    """The SQL substrate rejected a query (syntax or execution error)."""
+
+
+class FileSystemError(ResinError):
+    """The in-memory filesystem substrate rejected an operation."""
+
+
+class HTTPError(ResinError):
+    """The web substrate produced an error response."""
+
+    def __init__(self, status: int, message: str = ""):
+        super().__init__(message or f"HTTP {status}")
+        self.status = status

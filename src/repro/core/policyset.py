@@ -1,0 +1,122 @@
+"""Policy sets.
+
+A datum may carry several policies at once (one per data flow assertion that
+cares about it), collected in its *policy set* (Section 3.4).  ``PolicySet``
+is an immutable, hashable container so that the character-range machinery in
+:mod:`repro.tracking` can share and compare policy sets cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple, Type
+
+from .policy import Policy, validate_policies
+
+
+class PolicySet:
+    """An immutable set of :class:`~repro.core.policy.Policy` objects."""
+
+    __slots__ = ("_policies", "_hash")
+
+    def __init__(self, policies: Iterable[Policy] = ()):
+        self._policies: Tuple[Policy, ...] = tuple(
+            sorted(validate_policies(policies),
+                   key=lambda p: (type(p).__name__, repr(p))))
+        self._hash: Optional[int] = None
+
+    # -- factory helpers ---------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "PolicySet":
+        return _EMPTY
+
+    @classmethod
+    def of(cls, *policies: Policy) -> "PolicySet":
+        return cls(policies)
+
+    # -- set operations ----------------------------------------------------
+
+    def add(self, policy: Policy) -> "PolicySet":
+        """Return a new set with ``policy`` added."""
+        if policy in self:
+            return self
+        return PolicySet(self._policies + (policy,))
+
+    def remove(self, policy: Policy) -> "PolicySet":
+        """Return a new set with ``policy`` removed (no error if absent)."""
+        if policy not in self:
+            return self
+        return PolicySet(p for p in self._policies if p != policy)
+
+    def union(self, other: Iterable[Policy]) -> "PolicySet":
+        return PolicySet(tuple(self._policies) + tuple(other))
+
+    def intersection(self, other: Iterable[Policy]) -> "PolicySet":
+        other_set = set(other)
+        return PolicySet(p for p in self._policies if p in other_set)
+
+    def difference(self, other: Iterable[Policy]) -> "PolicySet":
+        other_set = set(other)
+        return PolicySet(p for p in self._policies if p not in other_set)
+
+    def without_type(self, policy_type: Type[Policy]) -> "PolicySet":
+        """Return a new set with every policy of ``policy_type`` removed.
+
+        Useful for declassification-style filters, e.g. an encryption
+        boundary that strips confidentiality policies (Section 3.2).
+        """
+        return PolicySet(
+            p for p in self._policies if not isinstance(p, policy_type))
+
+    def of_type(self, policy_type: Type[Policy]) -> Tuple[Policy, ...]:
+        """Return the policies in this set that are instances of
+        ``policy_type``."""
+        return tuple(p for p in self._policies if isinstance(p, policy_type))
+
+    def has_type(self, policy_type: Type[Policy]) -> bool:
+        return any(isinstance(p, policy_type) for p in self._policies)
+
+    # -- container protocol -------------------------------------------------
+
+    def __iter__(self) -> Iterator[Policy]:
+        return iter(self._policies)
+
+    def __len__(self) -> int:
+        return len(self._policies)
+
+    def __bool__(self) -> bool:
+        return bool(self._policies)
+
+    def __contains__(self, policy: object) -> bool:
+        return policy in self._policies
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PolicySet):
+            return set(self._policies) == set(other._policies)
+        if isinstance(other, (set, frozenset, tuple, list)):
+            return set(self._policies) == set(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._policies))
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(p) for p in self._policies)
+        return f"PolicySet({{{inner}}})"
+
+
+_EMPTY = PolicySet()
+
+
+def as_policyset(value) -> PolicySet:
+    """Coerce ``value`` (None, a Policy, an iterable of policies, or a
+    PolicySet) into a :class:`PolicySet`."""
+    if value is None:
+        return _EMPTY
+    if isinstance(value, PolicySet):
+        return value
+    if isinstance(value, Policy):
+        return PolicySet((value,))
+    return PolicySet(value)

@@ -1,0 +1,166 @@
+"""Runtime boundary machinery.
+
+This module implements the pieces of the RESIN runtime that are independent
+of any particular channel: the registry of default filter factories (so that
+every newly created channel of a given type gets the right default filter,
+Section 3.2.1), the export-check helper used by those filters, and the output
+buffering mechanism applications use to combine assertions with exception
+handling (Section 5.5).
+
+The full "environment" — filesystem + database + mail + HTTP output + code
+interpreter wired together — lives in :mod:`repro.environment`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .context import FilterContext, as_context
+from .exceptions import FilterError
+from .filter import DefaultFilter, Filter
+
+__all__ = [
+    "set_default_filter_factory", "get_default_filter_factory",
+    "make_default_filter", "reset_default_filters", "check_export",
+    "OutputBuffer",
+]
+
+FilterFactory = Callable[[FilterContext], Filter]
+
+#: Channel types known to the runtime.  Applications may register additional
+#: types; these are the ones the paper's default boundary covers.
+CHANNEL_TYPES = ("file", "socket", "pipe", "http", "email", "sql", "code")
+
+_default_factories: Dict[str, FilterFactory] = {}
+
+
+def _builtin_factory(context: FilterContext) -> Filter:
+    return DefaultFilter(context)
+
+
+def set_default_filter_factory(channel_type: str,
+                               factory: FilterFactory) -> None:
+    """Override the default filter installed on new channels of
+    ``channel_type``.
+
+    The paper's script-injection assertion does exactly this for the ``code``
+    channel: it replaces the permissive default filter with one that requires
+    a ``CodeApproval`` policy (Section 5.2).
+    """
+    if not callable(factory):
+        raise FilterError("filter factory must be callable")
+    _default_factories[channel_type] = factory
+
+
+def get_default_filter_factory(channel_type: str) -> FilterFactory:
+    return _default_factories.get(channel_type, _builtin_factory)
+
+
+def make_default_filter(channel_type: str,
+                        context: Optional[dict] = None) -> Filter:
+    """Create the default filter for a new channel of ``channel_type``."""
+    ctx = as_context(context)
+    ctx.setdefault("type", channel_type)
+    flt = get_default_filter_factory(channel_type)(ctx)
+    if not isinstance(flt, Filter):
+        raise FilterError(
+            f"default filter factory for {channel_type!r} returned "
+            f"{type(flt).__name__}, expected a Filter")
+    # The factory may build its own context; make sure the channel context
+    # the runtime prepared is visible to it.
+    if flt.context is not ctx:
+        merged = dict(ctx)
+        merged.update(flt.context)
+        flt.context = as_context(merged)
+    return flt
+
+
+def reset_default_filters() -> None:
+    """Restore the built-in default filter on every channel type.
+
+    Tests and benchmarks use this to isolate runs from each other."""
+    _default_factories.clear()
+
+
+def check_export(data: Any, context: Optional[dict] = None) -> Any:
+    """Invoke ``export_check`` on every policy of ``data``.
+
+    This is the enforcement step default filters perform on write; exposed as
+    a helper for application-defined filters and for the web substrate.
+    Raises whatever the failing policy raises (normally a
+    :class:`~repro.core.exceptions.PolicyViolation`).
+    """
+    from .api import policy_get
+    ctx = as_context(context)
+    for policy in policy_get(data):
+        export_check = getattr(policy, "export_check", None)
+        if callable(export_check):
+            export_check(ctx)
+    return data
+
+
+class OutputBuffer:
+    """Output buffering for exception-driven access checks (Section 5.5).
+
+    An application that lets RESIN assertions *be* its access checks wraps
+    page-generation code in a try block.  Output produced inside the block is
+    buffered; if an assertion raises, the buffer is discarded (and alternate
+    output such as ``"Anonymous"`` may be substituted), otherwise it is
+    released to the real channel.
+
+    Buffers nest: each ``start`` pushes a new buffer, and writes go to the
+    innermost one.
+    """
+
+    def __init__(self, sink: Callable[[Any], None]):
+        self._sink = sink
+        self._stack: List[List[Any]] = []
+
+    @property
+    def buffering(self) -> bool:
+        return bool(self._stack)
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def write(self, data: Any) -> None:
+        """Write ``data`` to the innermost buffer, or straight to the sink if
+        no buffering is active."""
+        if self._stack:
+            self._stack[-1].append(data)
+        else:
+            self._sink(data)
+
+    def start(self) -> None:
+        """Start buffering subsequent writes."""
+        self._stack.append([])
+
+    def release(self) -> None:
+        """Release the innermost buffer to the enclosing buffer (or to the
+        sink if it is the outermost one)."""
+        if not self._stack:
+            raise FilterError("release() without start()")
+        chunk = self._stack.pop()
+        for data in chunk:
+            self.write(data)
+
+    def discard(self, alternate: Any = None) -> None:
+        """Throw away the innermost buffer, optionally writing ``alternate``
+        output in its place."""
+        if not self._stack:
+            raise FilterError("discard() without start()")
+        self._stack.pop()
+        if alternate is not None:
+            self.write(alternate)
+
+    def __enter__(self) -> "OutputBuffer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.release()
+        else:
+            self.discard()
+        return False

@@ -1,0 +1,173 @@
+"""Persistent policy serialization.
+
+RESIN stores policies persistently so that data flow assertions keep holding
+when data round-trips through files and databases (Section 3.4.1).  Only the
+policy's *class name and data fields* are serialized — never code — so a
+programmer can evolve a policy class's ``export_check`` without migrating
+stored policies.
+
+The wire format is JSON: a policy is ``{"class": "<qualified name>",
+"fields": {...}}`` and a byte/character range map is a list of
+``[start, stop, [policy, ...]]`` segments.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Type
+
+from .exceptions import SerializationError
+from .policy import Policy
+from .policyset import PolicySet, as_policyset
+from ..tracking.ranges import RangeMap
+
+__all__ = [
+    "register_policy_class", "find_policy_class",
+    "serialize_policy", "deserialize_policy",
+    "serialize_policyset", "deserialize_policyset",
+    "serialize_rangemap", "deserialize_rangemap",
+    "dumps_policyset", "loads_policyset",
+    "dumps_rangemap", "loads_rangemap",
+]
+
+_REGISTRY: Dict[str, Type[Policy]] = {}
+
+
+def qualified_name(cls: Type[Policy]) -> str:
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def register_policy_class(cls: Type[Policy]) -> Type[Policy]:
+    """Register a policy class for de-serialization.
+
+    May be used as a decorator.  Classes defined under the ``repro`` package
+    are also found automatically by scanning ``Policy`` subclasses, so
+    explicit registration is only needed for application policy classes whose
+    module may not be imported at de-serialization time.
+    """
+    if not (isinstance(cls, type) and issubclass(cls, Policy)):
+        raise TypeError("register_policy_class expects a Policy subclass")
+    _REGISTRY[qualified_name(cls)] = cls
+    _REGISTRY[cls.__qualname__] = cls
+    return cls
+
+
+def _scan_subclasses(base: Type[Policy]) -> Iterable[Type[Policy]]:
+    for sub in base.__subclasses__():
+        yield sub
+        yield from _scan_subclasses(sub)
+
+
+def find_policy_class(name: str) -> Type[Policy]:
+    """Resolve a serialized class name back to a policy class."""
+    if name in _REGISTRY:
+        return _REGISTRY[name]
+    for cls in _scan_subclasses(Policy):
+        if qualified_name(cls) == name or cls.__qualname__ == name:
+            _REGISTRY[name] = cls
+            return cls
+    raise SerializationError(f"unknown policy class {name!r}")
+
+
+def _encode_field(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return {"__seq__": [_encode_field(v) for v in value],
+                "__tuple__": isinstance(value, tuple)}
+    if isinstance(value, (set, frozenset)):
+        return {"__set__": sorted(_encode_field(v) for v in value)}
+    if isinstance(value, dict):
+        return {"__dict__": {str(k): _encode_field(v)
+                             for k, v in value.items()}}
+    if isinstance(value, Policy):
+        return {"__policy__": serialize_policy(value)}
+    raise SerializationError(
+        f"policy field of type {type(value).__name__} is not serializable")
+
+
+def _decode_field(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__seq__" in value:
+            seq = [_decode_field(v) for v in value["__seq__"]]
+            return tuple(seq) if value.get("__tuple__") else seq
+        if "__set__" in value:
+            return set(_decode_field(v) for v in value["__set__"])
+        if "__dict__" in value:
+            return {k: _decode_field(v) for k, v in value["__dict__"].items()}
+        if "__policy__" in value:
+            return deserialize_policy(value["__policy__"])
+    return value
+
+
+def serialize_policy(policy: Policy) -> Dict[str, Any]:
+    """Serialize one policy to a JSON-able dict (class name + fields)."""
+    return {
+        "class": qualified_name(type(policy)),
+        "fields": {key: _encode_field(value)
+                   for key, value in policy.serializable_fields().items()},
+    }
+
+
+def deserialize_policy(record: Dict[str, Any]) -> Policy:
+    """Re-create a policy from its serialized form.
+
+    The object is created without invoking ``__init__`` — exactly the fields
+    that were stored are restored — so a policy class may change its
+    constructor signature without breaking stored policies.
+    """
+    try:
+        cls = find_policy_class(record["class"])
+    except KeyError as exc:
+        raise SerializationError(f"malformed policy record: {record!r}") from exc
+    policy = cls.__new__(cls)
+    for key, value in record.get("fields", {}).items():
+        setattr(policy, key, _decode_field(value))
+    return policy
+
+
+def serialize_policyset(policies) -> List[Dict[str, Any]]:
+    return [serialize_policy(p) for p in as_policyset(policies)]
+
+
+def deserialize_policyset(records: Iterable[Dict[str, Any]]) -> PolicySet:
+    return PolicySet(deserialize_policy(r) for r in records)
+
+
+def serialize_rangemap(rangemap: RangeMap) -> Dict[str, Any]:
+    return {
+        "length": rangemap.length,
+        "segments": [
+            [start, stop, [serialize_policy(p) for p in policies]]
+            for start, stop, policies in rangemap.to_segments()
+        ],
+    }
+
+
+def deserialize_rangemap(record: Dict[str, Any]) -> RangeMap:
+    return RangeMap.from_segments(
+        record["length"],
+        [(start, stop, [deserialize_policy(p) for p in policies])
+         for start, stop, policies in record.get("segments", [])])
+
+
+def dumps_policyset(policies) -> str:
+    """Serialize a policy set to a JSON string."""
+    return json.dumps(serialize_policyset(policies), sort_keys=True)
+
+
+def loads_policyset(text: Optional[str]) -> PolicySet:
+    """De-serialize a policy set from a JSON string (None/empty → empty set)."""
+    if not text:
+        return PolicySet.empty()
+    return deserialize_policyset(json.loads(text))
+
+
+def dumps_rangemap(rangemap: RangeMap) -> str:
+    return json.dumps(serialize_rangemap(rangemap), sort_keys=True)
+
+
+def loads_rangemap(text: Optional[str], length: int = 0) -> RangeMap:
+    if not text:
+        return RangeMap.empty(length)
+    return deserialize_rangemap(json.loads(text))

@@ -1,0 +1,62 @@
+"""The RESIN environment.
+
+``Environment`` wires the substrates together the way a LAMP-style
+deployment does: one filesystem, one database, one outgoing-mail transport,
+one script interpreter, and per-request HTTP output channels.  The paper's
+evaluation applications (:mod:`repro.apps`) are built on top of an
+``Environment``; examples and benchmarks create one per scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .channels.httpout import HTTPOutputChannel
+from .channels.mail import MailTransport
+from .channels.socketchan import PipeChannel, SocketChannel
+from .channels.sqlchan import Database
+from .fs.resinfs import ResinFS
+from .interp.interpreter import Interpreter
+from .sql.engine import Engine
+from .web.session import SessionStore
+
+
+class Environment:
+    """Everything an application needs to run under RESIN."""
+
+    def __init__(self, persist_policies: bool = True):
+        self.fs = ResinFS()
+        self.db = Database(Engine(), persist_policies=persist_policies)
+        self.mail = MailTransport()
+        self.sessions = SessionStore()
+        self.interpreter = Interpreter(self)
+
+    # -- channel factories ------------------------------------------------------
+
+    def http_channel(self, user: Optional[str] = None,
+                     priv_chair: bool = False,
+                     **context) -> HTTPOutputChannel:
+        """A fresh HTTP output channel for one response."""
+        channel = HTTPOutputChannel(context)
+        channel.set_user(user, priv_chair=priv_chair)
+        return channel
+
+    def socket(self, peer: Optional[str] = None, **context) -> SocketChannel:
+        return SocketChannel(peer, context)
+
+    def pipe(self, command: Optional[str] = None, **context) -> PipeChannel:
+        return PipeChannel(command, context)
+
+    # -- convenience shims used by examples -------------------------------------------
+
+    @property
+    def http(self) -> HTTPOutputChannel:
+        """A lazily-created shared HTTP channel for quick demos.
+
+        Real applications create one channel per request via
+        :meth:`http_channel`; this shared one exists so the README quickstart
+        can say ``env.http.write(...)``.
+        """
+        if not hasattr(self, "_shared_http"):
+            self._shared_http = self.http_channel()
+        return self._shared_http

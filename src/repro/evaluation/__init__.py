@@ -1,0 +1,13 @@
+"""Evaluation harnesses shared by the integration tests and the benchmarks.
+
+One module per experiment family:
+
+* :mod:`repro.evaluation.table4` — the security evaluation (Table 4);
+* :mod:`repro.evaluation.table5` — the microbenchmarks (Table 5);
+* :mod:`repro.evaluation.hotcrp_perf` — HotCRP page-generation overhead
+  (Section 7.1).
+"""
+
+from . import hotcrp_perf, table4, table5
+
+__all__ = ["table4", "table5", "hotcrp_perf"]

@@ -1,0 +1,237 @@
+"""Experiment E4: the microbenchmark operations of Table 5.
+
+Table 5 measures the cost of individual operations in three configurations:
+
+* an **unmodified** interpreter (plain Python objects here),
+* the **RESIN** interpreter with **no policy** attached (tainted types whose
+  policy sets are empty), and
+* the RESIN interpreter with an **empty policy** attached (a bare ``Policy``
+  that tracks but never rejects).
+
+The operations are: variable assignment, function call, string
+concatenation, integer addition, file open / 1 KB read / 1 KB write, and SQL
+SELECT / INSERT / DELETE over 10 columns.  Absolute numbers are not expected
+to match the paper's C-level implementation; the *shape* (propagation is
+cheap, merging with a policy costs more, SQL dominates) is what the
+benchmark checks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..core.policy import Policy
+from ..environment import Environment
+from ..fs.resinfs import ResinFS
+from ..sql.engine import Engine
+from ..channels.sqlchan import Database
+from ..tracking.tainted_number import TaintedInt
+from ..tracking.tainted_str import TaintedStr
+
+#: Configurations measured in Table 5.
+CONFIGURATIONS = ("unmodified", "resin_no_policy", "resin_empty_policy")
+
+#: Operations measured in Table 5 (name, unit-of-work description).
+OPERATIONS = (
+    "assign_variable",
+    "function_call",
+    "string_concat",
+    "integer_addition",
+    "file_open",
+    "file_read_1kb",
+    "file_write_1kb",
+    "sql_select",
+    "sql_insert",
+    "sql_delete",
+)
+
+
+class EmptyPolicy(Policy):
+    """The "empty policy" of Table 5: tracked everywhere, allows everything."""
+
+
+def _noop(value):
+    return value
+
+
+class MicrobenchSuite:
+    """Builds the callables the benchmark harness times.
+
+    Each callable performs one operation of Table 5 under one configuration
+    and is safe to call repeatedly.
+    """
+
+    def __init__(self, configuration: str):
+        if configuration not in CONFIGURATIONS:
+            raise ValueError(f"unknown configuration {configuration!r}")
+        self.configuration = configuration
+        self._policy = EmptyPolicy()
+        self._setup_values()
+        self._setup_files()
+        self._setup_sql()
+
+    # -- fixtures -----------------------------------------------------------------
+
+    def _setup_values(self) -> None:
+        if self.configuration == "unmodified":
+            self.string_a = "a" * 32
+            self.string_b = "b" * 32
+            self.int_a = 12345
+            self.int_b = 67890
+        elif self.configuration == "resin_no_policy":
+            self.string_a = TaintedStr("a" * 32)
+            self.string_b = TaintedStr("b" * 32)
+            self.int_a = TaintedInt(12345)
+            self.int_b = TaintedInt(67890)
+        else:
+            self.string_a = TaintedStr("a" * 32).with_policy(self._policy)
+            self.string_b = TaintedStr("b" * 32).with_policy(self._policy)
+            self.int_a = TaintedInt(12345, (self._policy,))
+            self.int_b = TaintedInt(67890, (self._policy,))
+
+    def _setup_files(self) -> None:
+        self.payload_1kb = self._wrap_string("x" * 1024)
+        if self.configuration == "unmodified":
+            # Plain Python files are modelled by the raw in-memory filesystem
+            # (no policy xattrs, no filters).
+            self.fs = ResinFS()
+            self.raw_fs = self.fs.raw
+            self.raw_fs.mkdir("/bench")
+            self.raw_fs.write_raw("/bench/data.bin", b"x" * 1024)
+        else:
+            self.fs = ResinFS()
+            self.fs.mkdir("/bench")
+            self.fs.write_text("/bench/data.bin", self.payload_1kb)
+
+    def _setup_sql(self) -> None:
+        columns = [f"col{i}" for i in range(10)]
+        create = ("CREATE TABLE bench (" +
+                  ", ".join(f"{c} TEXT" for c in columns) + ")")
+        if self.configuration == "unmodified":
+            self.engine = Engine()
+            self.engine.execute(create)
+            self.db = None
+        else:
+            self.db = Database(Engine(), persist_policies=True)
+            self.db.execute_unchecked(create)
+            self.engine = self.db.engine
+        self.sql_columns = columns
+        values = ", ".join(f"'{self._cell_text(i)}'" for i in range(10))
+        self.insert_query = (f"INSERT INTO bench ({', '.join(columns)}) "
+                             f"VALUES ({values})")
+        self.select_query = f"SELECT {', '.join(columns)} FROM bench"
+        self.delete_query = "DELETE FROM bench"
+        # Pre-populate some rows so SELECT has work to do.
+        for _ in range(10):
+            self._sql_execute(self._insert_statement())
+
+    def _cell_text(self, index: int) -> str:
+        return f"value-{index:02d}-" + "d" * 16
+
+    def _wrap_string(self, text: str):
+        if self.configuration == "unmodified":
+            return text
+        tainted = TaintedStr(text)
+        if self.configuration == "resin_empty_policy":
+            tainted = tainted.with_policy(self._policy)
+        return tainted
+
+    def _insert_statement(self):
+        if self.configuration == "unmodified":
+            return self.insert_query
+        values = []
+        for i in range(10):
+            values.append("'" + str(self._wrap_string(self._cell_text(i)))
+                          + "'")
+        # Build a tainted query so the cell literals carry policies (the
+        # "empty policy" configuration of the paper stores one serialized
+        # policy per cell).
+        query = TaintedStr(f"INSERT INTO bench ({', '.join(self.sql_columns)})"
+                           " VALUES (")
+        for index in range(10):
+            if index:
+                query = query + ", "
+            query = query + "'" + self._wrap_string(self._cell_text(index)) + "'"
+        query = query + ")"
+        return query
+
+    def _sql_execute(self, query):
+        if self.db is None:
+            return self.engine.execute(str(query))
+        return self.db.query(query)
+
+    # -- the measured operations -------------------------------------------------------------
+
+    def assign_variable(self) -> None:
+        value = self.string_a
+        other = value
+        del other
+
+    def function_call(self) -> None:
+        _noop(self.string_a)
+
+    def string_concat(self) -> None:
+        result = self.string_a + self.string_b
+        del result
+
+    def integer_addition(self) -> None:
+        result = self.int_a + self.int_b
+        del result
+
+    def file_open(self) -> None:
+        if self.configuration == "unmodified":
+            self.raw_fs.read_raw("/bench/data.bin")[:0]
+        else:
+            handle = self.fs.open("/bench/data.bin", "r")
+            handle.close()
+
+    def file_read_1kb(self) -> None:
+        if self.configuration == "unmodified":
+            data = self.raw_fs.read_raw("/bench/data.bin")
+        else:
+            data = self.fs.read_bytes("/bench/data.bin")
+        del data
+
+    def file_write_1kb(self) -> None:
+        if self.configuration == "unmodified":
+            self.raw_fs.write_raw("/bench/out.bin", b"x" * 1024)
+        else:
+            self.fs.write_bytes("/bench/out.bin", self.payload_1kb)
+
+    def sql_select(self) -> None:
+        self._sql_execute(self.select_query)
+
+    def sql_insert(self) -> None:
+        self._sql_execute(self._insert_statement())
+
+    def sql_delete(self) -> None:
+        self._sql_execute(self.delete_query)
+        # Re-populate so subsequent deletes have rows to remove.
+        self._sql_execute(self._insert_statement())
+
+    def operation(self, name: str) -> Callable[[], None]:
+        if name not in OPERATIONS:
+            raise ValueError(f"unknown operation {name!r}")
+        return getattr(self, name)
+
+
+def build_suites() -> Dict[str, MicrobenchSuite]:
+    """One suite per configuration."""
+    return {configuration: MicrobenchSuite(configuration)
+            for configuration in CONFIGURATIONS}
+
+
+#: The paper's measurements (microseconds), for side-by-side reporting in
+#: EXPERIMENTS.md and the benchmark output.
+PAPER_TABLE5_MICROSECONDS = {
+    "assign_variable": (0.196, 0.210, 0.214),
+    "function_call": (0.598, 0.602, 0.619),
+    "string_concat": (0.315, 0.340, 0.463),
+    "integer_addition": (0.224, 0.247, 0.384),
+    "file_open": (5.60, 7.05, 18.2),
+    "file_read_1kb": (14.0, 16.6, 26.7),
+    "file_write_1kb": (57.4, 60.5, 71.7),
+    "sql_select": (134, 674, 832),
+    "sql_insert": (64.8, 294, 508),
+    "sql_delete": (64.7, 114, 115),
+}

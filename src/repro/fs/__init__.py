@@ -1,0 +1,9 @@
+"""Filesystem substrate: in-memory storage with xattrs plus the RESIN-aware
+layer (persistent policies and persistent filter objects)."""
+
+from . import path
+from .filesystem import FileSystem, Inode, Stat
+from .resinfs import FILTER_XATTR, POLICY_XATTR, ResinFS, ResinFile
+
+__all__ = ["path", "FileSystem", "Inode", "Stat", "ResinFS", "ResinFile",
+           "POLICY_XATTR", "FILTER_XATTR"]

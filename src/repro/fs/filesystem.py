@@ -1,0 +1,215 @@
+"""In-memory filesystem with extended attributes.
+
+This is the storage substrate under the RESIN file channels: a POSIX-flavoured
+tree of directories and regular files, where every inode carries a dict of
+extended attributes.  The paper stores two things in xattrs:
+
+* serialized persistent policies for the file's data (Section 3.4.1), and
+* programmer-specified persistent filter objects used for write access
+  control on files and directories (Section 3.2.3).
+
+This layer knows nothing about policies or filters — it only stores bytes and
+xattrs.  The RESIN-aware layer is :class:`repro.fs.resinfs.ResinFS`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..core.exceptions import FileSystemError
+from . import path as fspath
+
+
+class Inode:
+    """A file or directory node."""
+
+    def __init__(self, kind: str, name: str):
+        if kind not in ("file", "dir"):
+            raise ValueError(f"unknown inode kind {kind!r}")
+        self.kind = kind
+        self.name = name
+        self.xattrs: Dict[str, Any] = {}
+        self.data: bytes = b""
+        self.entries: Dict[str, "Inode"] = {}
+
+    @property
+    def is_dir(self) -> bool:
+        return self.kind == "dir"
+
+    @property
+    def is_file(self) -> bool:
+        return self.kind == "file"
+
+    def __repr__(self) -> str:
+        return f"Inode({self.kind}, {self.name!r})"
+
+
+class Stat:
+    """Minimal stat result."""
+
+    def __init__(self, path: str, inode: Inode):
+        self.path = path
+        self.kind = inode.kind
+        self.size = len(inode.data) if inode.is_file else len(inode.entries)
+        self.xattr_names = sorted(inode.xattrs)
+
+    def __repr__(self) -> str:
+        return f"Stat({self.path!r}, kind={self.kind}, size={self.size})"
+
+
+class FileSystem:
+    """A purely in-memory filesystem.
+
+    All paths are normalized with :func:`repro.fs.path.normalize`; files hold
+    raw ``bytes`` (policy-free — policies are stored in xattrs by the layer
+    above).
+    """
+
+    def __init__(self):
+        self.root = Inode("dir", "/")
+
+    # -- traversal -----------------------------------------------------------
+
+    def _lookup(self, path: str) -> Optional[Inode]:
+        node = self.root
+        for part in fspath.parts(path):
+            if not node.is_dir:
+                return None
+            node = node.entries.get(part)
+            if node is None:
+                return None
+        return node
+
+    def _require(self, path: str, kind: Optional[str] = None) -> Inode:
+        node = self._lookup(path)
+        if node is None:
+            raise FileSystemError(f"no such file or directory: {path!r}")
+        if kind and node.kind != kind:
+            raise FileSystemError(f"{path!r} is not a {kind}")
+        return node
+
+    def _require_parent(self, path: str) -> Inode:
+        parent_path = fspath.dirname(path)
+        parent = self._lookup(parent_path)
+        if parent is None or not parent.is_dir:
+            raise FileSystemError(f"no such directory: {parent_path!r}")
+        return parent
+
+    # -- queries ----------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        return self._lookup(fspath.normalize(path)) is not None
+
+    def isdir(self, path: str) -> bool:
+        node = self._lookup(fspath.normalize(path))
+        return node is not None and node.is_dir
+
+    def isfile(self, path: str) -> bool:
+        node = self._lookup(fspath.normalize(path))
+        return node is not None and node.is_file
+
+    def listdir(self, path: str) -> List[str]:
+        node = self._require(fspath.normalize(path), "dir")
+        return sorted(node.entries)
+
+    def stat(self, path: str) -> Stat:
+        path = fspath.normalize(path)
+        return Stat(path, self._require(path))
+
+    def walk(self, top: str = "/") -> Iterator[str]:
+        """Yield every path under ``top`` (depth-first, files and dirs)."""
+        top = fspath.normalize(top)
+        node = self._require(top)
+        stack = [(top, node)]
+        while stack:
+            current_path, current = stack.pop()
+            yield current_path
+            if current.is_dir:
+                for name in sorted(current.entries, reverse=True):
+                    stack.append((fspath.join(current_path, name),
+                                  current.entries[name]))
+
+    # -- directory operations -----------------------------------------------------
+
+    def mkdir(self, path: str, parents: bool = False) -> None:
+        path = fspath.normalize(path)
+        if path == "/":
+            return
+        parent_path, name = fspath.split(path)
+        parent = self._lookup(parent_path)
+        if parent is None:
+            if not parents:
+                raise FileSystemError(f"no such directory: {parent_path!r}")
+            self.mkdir(parent_path, parents=True)
+            parent = self._require(parent_path, "dir")
+        if not parent.is_dir:
+            raise FileSystemError(f"{parent_path!r} is not a directory")
+        existing = parent.entries.get(name)
+        if existing is not None:
+            if existing.is_dir:
+                return
+            raise FileSystemError(f"{path!r} exists and is not a directory")
+        parent.entries[name] = Inode("dir", name)
+
+    def unlink(self, path: str) -> None:
+        path = fspath.normalize(path)
+        parent = self._require_parent(path)
+        name = fspath.basename(path)
+        node = parent.entries.get(name)
+        if node is None:
+            raise FileSystemError(f"no such file or directory: {path!r}")
+        if node.is_dir and node.entries:
+            raise FileSystemError(f"directory not empty: {path!r}")
+        del parent.entries[name]
+
+    def rename(self, src: str, dst: str) -> None:
+        src = fspath.normalize(src)
+        dst = fspath.normalize(dst)
+        node = self._require(src)
+        dst_parent = self._require_parent(dst)
+        src_parent = self._require_parent(src)
+        del src_parent.entries[fspath.basename(src)]
+        node.name = fspath.basename(dst)
+        dst_parent.entries[node.name] = node
+
+    # -- file data -----------------------------------------------------------------
+
+    def create(self, path: str) -> None:
+        """Create an empty file (no error if it already exists)."""
+        path = fspath.normalize(path)
+        parent = self._require_parent(path)
+        name = fspath.basename(path)
+        node = parent.entries.get(name)
+        if node is None:
+            parent.entries[name] = Inode("file", name)
+        elif not node.is_file:
+            raise FileSystemError(f"{path!r} is a directory")
+
+    def read_raw(self, path: str) -> bytes:
+        node = self._require(fspath.normalize(path), "file")
+        return node.data
+
+    def write_raw(self, path: str, data: bytes, append: bool = False) -> None:
+        path = fspath.normalize(path)
+        self.create(path)
+        node = self._require(path, "file")
+        data = bytes(data)
+        node.data = node.data + data if append else data
+
+    # -- extended attributes ---------------------------------------------------------
+
+    def get_xattr(self, path: str, name: str, default: Any = None) -> Any:
+        node = self._require(fspath.normalize(path))
+        return node.xattrs.get(name, default)
+
+    def set_xattr(self, path: str, name: str, value: Any) -> None:
+        node = self._require(fspath.normalize(path))
+        node.xattrs[name] = value
+
+    def remove_xattr(self, path: str, name: str) -> None:
+        node = self._require(fspath.normalize(path))
+        node.xattrs.pop(name, None)
+
+    def list_xattrs(self, path: str) -> List[str]:
+        node = self._require(fspath.normalize(path))
+        return sorted(node.xattrs)

@@ -1,0 +1,98 @@
+"""Path handling for the in-memory filesystem.
+
+Paths are POSIX-style (``/`` separated, absolute from the filesystem root).
+``normalize`` resolves ``.`` and ``..`` components the way a real kernel
+does — including letting ``..`` climb above an application's intended base
+directory.  That behaviour is deliberate: directory traversal attacks
+(Section 2, Data Flow Assertion 2) only exist because path resolution is
+*not* confined, and the RESIN write-access filters are what must stop them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+SEPARATOR = "/"
+
+
+def normalize(path: str) -> str:
+    """Resolve ``.`` and ``..`` components and collapse duplicate slashes.
+
+    The result is always an absolute path; ``..`` at the root is ignored
+    (as in POSIX).  Note that relative components are resolved *lexically* —
+    ``join("/home/alice", "../bob")`` escapes ``/home/alice``, which is the
+    behaviour a directory traversal exploit relies on.
+    """
+    parts: List[str] = []
+    for component in str(path).split(SEPARATOR):
+        if component in ("", "."):
+            continue
+        if component == "..":
+            if parts:
+                parts.pop()
+            continue
+        parts.append(component)
+    return SEPARATOR + SEPARATOR.join(parts)
+
+
+def join(base: str, *components: str) -> str:
+    """Join and normalize path components.
+
+    An absolute component replaces everything before it, like
+    ``os.path.join``.
+    """
+    result = str(base)
+    for component in components:
+        component = str(component)
+        if component.startswith(SEPARATOR):
+            result = component
+        else:
+            result = result.rstrip(SEPARATOR) + SEPARATOR + component
+    return normalize(result)
+
+
+def split(path: str) -> Tuple[str, str]:
+    """Split a normalized path into ``(parent, name)``."""
+    path = normalize(path)
+    if path == SEPARATOR:
+        return SEPARATOR, ""
+    parent, _, name = path.rpartition(SEPARATOR)
+    return (parent or SEPARATOR), name
+
+
+def dirname(path: str) -> str:
+    return split(path)[0]
+
+
+def basename(path: str) -> str:
+    return split(path)[1]
+
+
+def parts(path: str) -> List[str]:
+    """Component list of a normalized path (empty for the root)."""
+    path = normalize(path)
+    if path == SEPARATOR:
+        return []
+    return path.lstrip(SEPARATOR).split(SEPARATOR)
+
+
+def is_inside(path: str, base: str) -> bool:
+    """True if the normalized ``path`` lies inside (or equals) ``base``.
+
+    This is the check vulnerable applications *should* perform on
+    user-supplied file names; the file-manager apps in
+    :mod:`repro.apps.filemanager` show what happens when they do it wrong.
+    """
+    path = normalize(path)
+    base = normalize(base)
+    if base == SEPARATOR:
+        return True
+    return path == base or path.startswith(base + SEPARATOR)
+
+
+def extension(path: str) -> str:
+    """The file extension (lower-cased, without the dot), or ``''``."""
+    name = basename(path)
+    if "." not in name:
+        return ""
+    return name.rsplit(".", 1)[1].lower()

@@ -1,0 +1,307 @@
+"""The RESIN-aware filesystem layer.
+
+``ResinFS`` wraps the raw in-memory :class:`~repro.fs.filesystem.FileSystem`
+with the three file-related RESIN mechanisms:
+
+* **Persistent policies** (Section 3.4.1): when tainted data is written to a
+  file, its byte-range policy map is serialized into the file's extended
+  attributes; when the file is read back, the policies are de-serialized and
+  re-attached to the data — so assertions keep holding across storage.
+
+* **Default file filters** (Section 3.2.1): every read and write passes
+  through the default filter for the ``file`` channel type, which invokes
+  ``export_check`` with a ``{'type': 'file', 'path': ...}`` context.
+
+* **Persistent filter objects** (Section 3.2.3): a programmer can attach a
+  filter object to a specific file or directory; the runtime invokes it when
+  data flows into or out of that file, or when the directory is modified
+  (create, delete, rename) — this is how write access control is enforced.
+
+The current request context (e.g. the authenticated user) is pushed into the
+persistent filters' contexts via :meth:`ResinFS.set_request_context`, mirroring
+how the paper's filters consult application state such as the current user.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.context import FilterContext
+from ..core.exceptions import FileSystemError
+from ..core.filter import Filter
+from ..core.runtime import make_default_filter
+from ..core.serialization import dumps_rangemap, loads_rangemap
+from ..tracking.tainted_bytes import TaintedBytes
+from ..tracking.tainted_str import TaintedStr
+from . import path as fspath
+from .filesystem import FileSystem, Stat
+
+#: Extended attribute holding the serialized policy range map of a file.
+POLICY_XATTR = "user.resin.policies"
+
+#: Extended attribute holding the persistent filter object of a file/directory.
+FILTER_XATTR = "user.resin.filter"
+
+
+class ResinFile:
+    """An open file handle with policy-aware read/write.
+
+    Mirrors the paper's byte-level tracking for file data: reads return
+    :class:`~repro.tracking.tainted_bytes.TaintedBytes` whose per-byte
+    policies come from the file's xattrs, and writes update those xattrs.
+    """
+
+    def __init__(self, resinfs: "ResinFS", path: str, mode: str = "r"):
+        if mode not in ("r", "w", "a"):
+            raise FileSystemError(f"unsupported mode {mode!r}")
+        self.fs = resinfs
+        self.path = fspath.normalize(path)
+        self.mode = mode
+        self.closed = False
+        self._offset = 0
+        if mode == "r":
+            self._data = self.fs.read_bytes(self.path)
+        elif mode == "a" and self.fs.raw.exists(self.path):
+            self._data = self.fs.read_bytes(self.path)
+            self._offset = len(self._data)
+        else:
+            self._data = TaintedBytes(b"")
+
+    def read(self, size: Optional[int] = None) -> TaintedBytes:
+        self._check_open()
+        if size is None:
+            chunk = self._data[self._offset:]
+        else:
+            chunk = self._data[self._offset:self._offset + size]
+        self._offset += len(chunk)
+        return chunk
+
+    def write(self, data) -> int:
+        self._check_open()
+        if self.mode == "r":
+            raise FileSystemError("file opened read-only")
+        if isinstance(data, str):
+            data = TaintedStr(data).encode() if not isinstance(
+                data, TaintedStr) else data.encode()
+        elif not isinstance(data, TaintedBytes):
+            data = TaintedBytes(bytes(data))
+        self._data = self._data + data
+        return len(data)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        if self.mode in ("w", "a"):
+            self.fs.write_bytes(self.path, self._data)
+        self.closed = True
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise FileSystemError("I/O operation on closed file")
+
+    def __enter__(self) -> "ResinFile":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class ResinFS:
+    """Policy- and filter-aware filesystem operations."""
+
+    def __init__(self, raw: Optional[FileSystem] = None):
+        self.raw = raw if raw is not None else FileSystem()
+        self.request_context: Dict[str, Any] = {}
+
+    # -- request context -------------------------------------------------------
+
+    def set_request_context(self, **kwargs: Any) -> None:
+        """Set context (e.g. ``user='alice'``) that persistent filters see.
+
+        The web substrate calls this at the start of each request, so that a
+        write-access filter can check the authenticated user the way the
+        paper's MoinMoin write-ACL filter does.
+        """
+        self.request_context = dict(kwargs)
+
+    def clear_request_context(self) -> None:
+        self.request_context = {}
+
+    # -- persistent filters ------------------------------------------------------
+
+    def set_persistent_filter(self, path: str, flt: Filter) -> None:
+        """Attach a persistent filter object to a file or directory."""
+        if not isinstance(flt, Filter):
+            raise FileSystemError("persistent filter must be a Filter")
+        self.raw.set_xattr(path, FILTER_XATTR, flt)
+
+    def get_persistent_filter(self, path: str) -> Optional[Filter]:
+        if not self.raw.exists(path):
+            return None
+        flt = self.raw.get_xattr(path, FILTER_XATTR)
+        return flt if isinstance(flt, Filter) else None
+
+    def remove_persistent_filter(self, path: str) -> None:
+        self.raw.remove_xattr(path, FILTER_XATTR)
+
+    def _guarding_filters(self, path: str):
+        """Yield the persistent filters that guard ``path``: the one attached
+        to the path itself plus those attached to any ancestor directory.
+
+        Walking up the ancestors means a single filter on a data root guards
+        the whole subtree — the shape the file-manager write-access assertion
+        needs (Section 3.2.3)."""
+        current = fspath.normalize(path)
+        seen = set()
+        while True:
+            flt = self.get_persistent_filter(current)
+            if flt is not None and id(flt) not in seen:
+                seen.add(id(flt))
+                yield flt
+            if current == "/":
+                return
+            current = fspath.dirname(current)
+
+    def _prepare_filter(self, flt: Filter, path: str, op: Optional[str] = None
+                        ) -> Filter:
+        flt.context.update(self.request_context)
+        flt.context.setdefault("type", "file")
+        flt.context["path"] = path
+        if op is not None:
+            flt.context["operation"] = op
+        return flt
+
+    def _invoke_persistent_read(self, path: str, data):
+        for flt in self._guarding_filters(path):
+            data = self._prepare_filter(flt, path).filter_read(data)
+        return data
+
+    def _invoke_persistent_write(self, path: str, data):
+        for flt in self._guarding_filters(path):
+            data = self._prepare_filter(flt, path).filter_write(data)
+        return data
+
+    def _check_directory_mutation(self, op: str, path: str) -> None:
+        """Invoke the persistent filters guarding ``path`` (its own and its
+        ancestors') for a namespace mutation such as create, delete or
+        rename."""
+        for flt in self._guarding_filters(path):
+            self._prepare_filter(flt, path, op)
+            checker = getattr(flt, "check_mutation", None)
+            if callable(checker):
+                checker(op, path, flt.context)
+            else:
+                flt.filter_write(TaintedStr(path))
+
+    # -- default filters -----------------------------------------------------------
+
+    def _default_filter(self, path: str) -> Filter:
+        return make_default_filter("file", FilterContext(
+            type="file", path=path, **self.request_context))
+
+    # -- policy persistence -----------------------------------------------------------
+
+    def _store_policies(self, path: str, data: TaintedBytes) -> None:
+        if data.rangemap.is_empty():
+            self.raw.remove_xattr(path, POLICY_XATTR)
+            return
+        self.raw.set_xattr(path, POLICY_XATTR, dumps_rangemap(data.rangemap))
+
+    def _load_policies(self, path: str, raw_data: bytes) -> TaintedBytes:
+        serialized = self.raw.get_xattr(path, POLICY_XATTR)
+        rangemap = loads_rangemap(serialized, len(raw_data))
+        if rangemap.length != len(raw_data):
+            # The file was modified behind RESIN's back; fall back to
+            # spreading the stored policies over the whole file.
+            rangemap = rangemap.spread(len(raw_data)).with_length(len(raw_data))
+        return TaintedBytes(raw_data, rangemap)
+
+    # -- file data ------------------------------------------------------------------------
+
+    def open(self, path: str, mode: str = "r") -> ResinFile:
+        return ResinFile(self, path, mode)
+
+    def read_bytes(self, path: str) -> TaintedBytes:
+        path = fspath.normalize(path)
+        raw_data = self.raw.read_raw(path)
+        data = self._load_policies(path, raw_data)
+        data = self._invoke_persistent_read(path, data)
+        data = self._default_filter(path).filter_read(data)
+        return data
+
+    def read_text(self, path: str, encoding: str = "utf-8") -> TaintedStr:
+        return self.read_bytes(path).decode(encoding)
+
+    def write_bytes(self, path: str, data, append: bool = False) -> None:
+        path = fspath.normalize(path)
+        if isinstance(data, str):
+            data = (data if isinstance(data, TaintedStr)
+                    else TaintedStr(data)).encode()
+        elif not isinstance(data, TaintedBytes):
+            data = TaintedBytes(bytes(data))
+        if not self.raw.exists(path):
+            self._check_directory_mutation("create", path)
+        data = self._default_filter(path).filter_write(data)
+        data = self._invoke_persistent_write(path, data)
+        if append and self.raw.exists(path):
+            existing = self._load_policies(path, self.raw.read_raw(path))
+            data = existing + data
+        self.raw.write_raw(path, bytes(data))
+        self._store_policies(path, data)
+
+    def write_text(self, path: str, text, append: bool = False,
+                   encoding: str = "utf-8") -> None:
+        text = text if isinstance(text, TaintedStr) else TaintedStr(text)
+        self.write_bytes(path, text.encode(encoding), append=append)
+
+    # -- policy helpers -------------------------------------------------------------------
+
+    def add_file_policy(self, path: str, policy) -> None:
+        """Attach ``policy`` to every byte of an existing file (used by
+        installers, e.g. ``make_file_executable`` in Figure 6)."""
+        data = self.read_bytes(path).with_policy(policy)
+        self.raw.write_raw(fspath.normalize(path), bytes(data))
+        self._store_policies(fspath.normalize(path), data)
+
+    def file_policies(self, path: str):
+        """The policy set stored for a file (without reading it through the
+        filters) — what a RESIN-aware web server consults before serving a
+        static file."""
+        path = fspath.normalize(path)
+        raw_data = self.raw.read_raw(path)
+        return self._load_policies(path, raw_data).policies()
+
+    # -- namespace operations ---------------------------------------------------------------
+
+    def mkdir(self, path: str, parents: bool = False) -> None:
+        self._check_directory_mutation("mkdir", fspath.normalize(path))
+        self.raw.mkdir(path, parents=parents)
+
+    def unlink(self, path: str) -> None:
+        self._check_directory_mutation("unlink", fspath.normalize(path))
+        self.raw.unlink(path)
+
+    def rename(self, src: str, dst: str) -> None:
+        self._check_directory_mutation("rename", fspath.normalize(src))
+        self._check_directory_mutation("rename", fspath.normalize(dst))
+        # Carry the source's persistent filter and policies along.
+        self.raw.rename(src, dst)
+
+    def listdir(self, path: str) -> List[str]:
+        return self.raw.listdir(path)
+
+    def exists(self, path: str) -> bool:
+        return self.raw.exists(path)
+
+    def isdir(self, path: str) -> bool:
+        return self.raw.isdir(path)
+
+    def isfile(self, path: str) -> bool:
+        return self.raw.isfile(path)
+
+    def stat(self, path: str) -> Stat:
+        return self.raw.stat(path)
+
+    def walk(self, top: str = "/"):
+        return self.raw.walk(top)

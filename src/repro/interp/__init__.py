@@ -1,0 +1,6 @@
+"""Script interpreter substrate (server-side script injection boundary)."""
+
+from .filters import InterpreterFilter
+from .interpreter import Interpreter, ScriptError
+
+__all__ = ["Interpreter", "InterpreterFilter", "ScriptError"]

@@ -1,0 +1,31 @@
+"""Filters for the code-import channel.
+
+``InterpreterFilter`` is the filter of Figure 6: it refuses to hand code to
+the interpreter unless every character of the code carries a
+``CodeApproval`` policy.  This is the programmer-specified filter that
+*requires* a policy (as opposed to the permissive default filters, which only
+check policies that are present) — the distinction Section 5.2 calls out.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.exceptions import ScriptInjectionViolation
+from ..core.filter import Filter
+from ..policies.code_approval import CodeApproval
+from ..tracking.tainted_bytes import TaintedBytes
+from ..tracking.tainted_str import TaintedStr
+
+
+class InterpreterFilter(Filter):
+    """Only approved code may be interpreted (Data Flow Assertion 3)."""
+
+    def filter_read(self, data: Any, offset: int = 0) -> Any:
+        if isinstance(data, (TaintedStr, TaintedBytes)):
+            if len(data) and data.rangemap.every_position_has(CodeApproval):
+                return data
+        raise ScriptInjectionViolation(
+            "refusing to interpret code without a CodeApproval policy "
+            f"(origin: {self.context.get('origin', 'unknown')!r})",
+            context=self.context)

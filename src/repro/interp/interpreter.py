@@ -1,0 +1,77 @@
+"""A miniature script interpreter.
+
+The paper's server-side script injection assertion interposes on the PHP
+interpreter's code-import path.  Our stand-in interpreter executes small
+Python scripts stored in the in-memory filesystem; what matters for the
+reproduction is the *data flow*: script source is read from the filesystem
+(carrying whatever persistent policies are stored with it), flows through
+the ``code`` channel's filter, and only then is executed.
+
+Scripts run with a tiny global namespace:
+
+``output(text)``
+    Append text to the HTTP response (if any).
+``request`` / ``response`` / ``env``
+    The current request, response channel and environment.
+``globals_dict``
+    A scratch dict shared with the caller — attack scripts use it to prove
+    they executed (e.g. set ``pwned = True``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..channels.codeimport import CodeChannel
+from ..core.exceptions import ResinError
+
+
+class ScriptError(ResinError):
+    """A script failed to execute."""
+
+
+class Interpreter:
+    """Executes scripts from the environment's filesystem."""
+
+    def __init__(self, env):
+        self.env = env
+        #: Shared scratch state visible to scripts; used by tests to observe
+        #: whether (attacker) code actually ran.
+        self.globals: Dict[str, Any] = {}
+
+    def new_channel(self, origin: Optional[str] = None) -> CodeChannel:
+        context = {"origin": origin} if origin else {}
+        return CodeChannel(context)
+
+    def execute_source(self, source, origin: str = "<string>",
+                       request=None, response=None) -> Dict[str, Any]:
+        """Execute script source (the ``eval`` path)."""
+        channel = self.new_channel(origin)
+        code = channel.load(source, origin=origin)
+        return self._run(str(code), origin, request, response)
+
+    def execute_file(self, path: str, request=None, response=None
+                     ) -> Dict[str, Any]:
+        """Execute a script stored in the filesystem (the ``include`` path or
+        a direct HTTP request for the file)."""
+        source = self.env.fs.read_text(path)
+        channel = self.new_channel(path)
+        code = channel.load(source, origin=path)
+        return self._run(str(code), path, request, response)
+
+    def _run(self, code: str, origin: str, request, response) -> Dict[str, Any]:
+        namespace: Dict[str, Any] = {
+            "request": request,
+            "response": response,
+            "env": self.env,
+            "globals_dict": self.globals,
+            "output": (response.write if response is not None
+                       else (lambda text: None)),
+        }
+        try:
+            exec(compile(code, origin, "exec"), namespace)  # noqa: S102
+        except ResinError:
+            raise
+        except Exception as exc:
+            raise ScriptError(f"script {origin!r} failed: {exc}") from exc
+        return namespace

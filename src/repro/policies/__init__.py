@@ -1,0 +1,17 @@
+"""Standard policy classes used by the paper's data flow assertions."""
+
+from .acl import (ACL, ALL_USERS, ANONYMOUS, KNOWN_USERS, PagePolicy,
+                  ReadAccessPolicy)
+from .code_approval import CodeApproval
+from .password import PasswordPolicy, SecretPolicy
+from .untrusted import (AuthenticData, HTMLSanitized, JSONSanitized,
+                        SanitizedMarker, SQLSanitized, UntrustedData)
+
+__all__ = [
+    "ACL", "ALL_USERS", "KNOWN_USERS", "ANONYMOUS",
+    "PagePolicy", "ReadAccessPolicy",
+    "CodeApproval",
+    "PasswordPolicy", "SecretPolicy",
+    "UntrustedData", "SanitizedMarker", "SQLSanitized", "HTMLSanitized",
+    "JSONSanitized", "AuthenticData",
+]

@@ -1,0 +1,31 @@
+"""Code-approval policy for server-side script injection (Section 5.2).
+
+``CodeApproval`` is deliberately empty: its presence is the assertion.  The
+interpreter's input filter (``InterpreterFilter``) refuses to execute code
+unless *every* character of the code carries a ``CodeApproval`` policy —
+adversary-uploaded files lack the policy, so they can never be interpreted
+(Data Flow Assertion 3), whether reached through include statements, ``eval``
+or a direct HTTP request for the uploaded ``.php`` file.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from ..core.policy import Policy
+
+
+class CodeApproval(Policy):
+    """Marks code that the developer approved for interpretation.
+
+    The paper notes (footnote in Section 5.2) that ``CodeApproval`` does not
+    need intersection merge because character-level tracking avoids merging
+    file data; we keep union merge accordingly.
+    """
+
+    def __init__(self, approved_by: Optional[str] = None):
+        #: Who approved the code (informational, e.g. ``'installer'``).
+        self.approved_by = approved_by
+
+    def export_check(self, context: Mapping[str, Any]) -> None:
+        """Approved code may flow anywhere."""

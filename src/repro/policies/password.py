@@ -1,0 +1,85 @@
+"""Password-disclosure policies.
+
+``PasswordPolicy`` is the running example of the paper (Figure 2 and Data
+Flow Assertion 5): user *u*'s password may leave the system only via e-mail
+to *u*'s address, or over HTTP to the program chair.
+
+``SecretPolicy`` is the general form: data that may never leave the system at
+all (useful for the myPHPscripts login-library assertion, whose only
+difference from HotCRP's is that it does not allow e-mail reminders,
+Section 6.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional
+
+from ..core.exceptions import DisclosureViolation
+from ..core.policy import Policy
+
+
+class PasswordPolicy(Policy):
+    """User ``email``'s password may be disclosed only to that user.
+
+    Allowed flows:
+
+    * ``email`` channel whose recipient is the owner's address;
+    * ``http`` channel whose authenticated user is the program chair
+      (``context['priv_chair']`` truthy) — mirroring HotCRP's
+      ``$Me->privChair`` escape hatch — unless ``allow_chair=False``.
+
+    Flows to files, the SQL database and pipes inside the system are allowed:
+    persistence filters serialize the policy instead of checking it, so the
+    assertion keeps protecting the password after it is stored.
+    """
+
+    #: Boundary types on which the assertion is enforced.  Internal /
+    #: persistent boundaries (file, sql, pipe) serialize the policy instead.
+    ENFORCED_TYPES = frozenset({"http", "socket", "email"})
+
+    def __init__(self, email: str, allow_chair: bool = True):
+        self.email = email
+        self.allow_chair = allow_chair
+
+    def export_check(self, context: Mapping[str, Any]) -> None:
+        channel = context.get("type")
+        if channel not in self.ENFORCED_TYPES:
+            return
+        if channel == "email" and context.get("email") == self.email:
+            return
+        if (channel == "http" and self.allow_chair
+                and context.get("priv_chair")):
+            return
+        raise DisclosureViolation(
+            f"unauthorized disclosure of {self.email}'s password via "
+            f"{channel!r} channel", policy=self, context=context)
+
+
+class SecretPolicy(Policy):
+    """Data that must never leave the system through any external channel.
+
+    ``allowed_types`` can open specific channels (e.g. ``{"email"}``) and
+    ``allowed_users`` can open HTTP output to specific authenticated users.
+    """
+
+    ENFORCED_TYPES = frozenset({"http", "socket", "email", "pipe"})
+
+    def __init__(self, label: str = "secret",
+                 allowed_types: Iterable[str] = (),
+                 allowed_users: Iterable[str] = ()):
+        self.label = label
+        self.allowed_types = frozenset(allowed_types)
+        self.allowed_users = frozenset(allowed_users)
+
+    def export_check(self, context: Mapping[str, Any]) -> None:
+        channel = context.get("type")
+        if channel not in self.ENFORCED_TYPES:
+            return
+        if channel in self.allowed_types:
+            return
+        if (channel == "http"
+                and context.get("user") in self.allowed_users):
+            return
+        raise DisclosureViolation(
+            f"unauthorized disclosure of {self.label!r} via {channel!r} "
+            "channel", policy=self, context=context)

@@ -1,0 +1,77 @@
+"""Taint-style tracking policies.
+
+These policies implement the two SQL-injection / cross-site-scripting
+strategies of Section 5.3:
+
+* ``UntrustedData`` marks data that came from outside the application (HTTP
+  parameters, uploaded files, whois responses, …).  It uses *union* merge:
+  anything computed from untrusted data is untrusted.
+* ``SQLSanitized`` / ``HTMLSanitized`` mark data that has passed through the
+  corresponding sanitizer.  They use *intersection* merge: data combined from
+  sanitized and unsanitized operands is no longer considered sanitized.
+* ``AuthenticData`` marks data whose provenance is trusted; it also uses
+  intersection merge (the paper's example of a policy wanting the
+  intersection strategy, Section 3.4.2).
+
+None of these policies enforce anything in ``export_check`` on their own —
+enforcement happens in the SQL and HTML filter objects, which inspect the
+query/markup for characters that carry ``UntrustedData`` but not the
+matching ``*Sanitized`` policy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from ..core.policy import Policy
+
+
+class UntrustedData(Policy):
+    """Marks data that originated outside the application."""
+
+    merge_strategy = "union"
+
+    def __init__(self, source: Optional[str] = None):
+        #: Where the data came from (``'http-param'``, ``'upload'``,
+        #: ``'whois'``, …).  Informational; never affects enforcement.
+        self.source = source
+
+    def export_check(self, context: Mapping[str, Any]) -> None:
+        """Untrusted data may flow anywhere by itself; the SQL/HTML filters
+        decide whether it may appear inside query or markup structure."""
+
+
+class SanitizedMarker(Policy):
+    """Base class for sanitization markers; intersection merge."""
+
+    merge_strategy = "intersect"
+
+    def __init__(self, sanitizer: Optional[str] = None):
+        #: Name of the sanitizing function that was applied (informational).
+        self.sanitizer = sanitizer
+
+
+class SQLSanitized(SanitizedMarker):
+    """Marks data that has been passed through the SQL quoting function."""
+
+
+class HTMLSanitized(SanitizedMarker):
+    """Marks data that has been passed through the HTML escaping function."""
+
+
+class JSONSanitized(SanitizedMarker):
+    """Marks data that has been encoded for safe inclusion in JSON output
+    (Section 5.4 mentions JSON as an additional attack vector)."""
+
+
+class AuthenticData(Policy):
+    """Marks data whose provenance has been verified.
+
+    Intersection merge: a value computed from authentic and non-authentic
+    operands is not authentic.
+    """
+
+    merge_strategy = "intersect"
+
+    def __init__(self, authority: Optional[str] = None):
+        self.authority = authority

@@ -1,0 +1,19 @@
+"""Security assertion kit and vulnerability statistics."""
+
+from .assertions import (AutoSanitizingSQLFilter, HTMLGuardFilter,
+                         HTMLStructureGuardFilter, JSONGuardFilter,
+                         ResponseSplittingFilter, SQLGuardFilter,
+                         UntrustedInputFilter, WriteAccessFilter,
+                         approve_code_file,
+                         install_script_injection_assertion,
+                         mark_request_untrusted, mark_untrusted)
+from . import vulndb
+
+__all__ = [
+    "SQLGuardFilter", "AutoSanitizingSQLFilter",
+    "HTMLGuardFilter", "HTMLStructureGuardFilter", "JSONGuardFilter",
+    "ResponseSplittingFilter", "UntrustedInputFilter", "WriteAccessFilter",
+    "mark_untrusted", "mark_request_untrusted",
+    "approve_code_file", "install_script_injection_assertion",
+    "vulndb",
+]

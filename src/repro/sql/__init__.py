@@ -1,0 +1,9 @@
+"""SQL substrate: tokenizer, parser, AST and in-memory execution engine."""
+
+from . import nodes
+from .engine import Engine, Result, Row, Table
+from .parser import Parser, parse
+from .tokenizer import Token, tokenize
+
+__all__ = ["nodes", "Engine", "Result", "Row", "Table", "Parser", "parse",
+           "Token", "tokenize"]

@@ -1,0 +1,393 @@
+"""In-memory SQL engine.
+
+Executes the AST produced by :mod:`repro.sql.parser` against in-memory
+tables.  The engine itself is policy-agnostic: values stored in cells may be
+tainted strings/numbers and are returned as stored.  Policy persistence
+across the database (the paper's policy columns, Figure 4) is implemented one
+layer up, in :class:`repro.channels.sqlchan.Database`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..core.exceptions import SQLError
+from . import nodes
+from .parser import parse
+
+
+class Row(dict):
+    """A result row: a dict that also supports positional access."""
+
+    def __init__(self, columns: Sequence[str], values: Sequence[Any]):
+        super().__init__(zip(columns, values))
+        self.columns = list(columns)
+
+    def __getitem__(self, key):
+        if isinstance(key, int):
+            return super().__getitem__(self.columns[key])
+        return super().__getitem__(key)
+
+    def values_list(self) -> List[Any]:
+        return [super(Row, self).__getitem__(col) for col in self.columns]
+
+
+class Result:
+    """Result of executing a statement."""
+
+    def __init__(self, columns: Sequence[str] = (),
+                 rows: Iterable[Sequence[Any]] = (),
+                 rowcount: int = 0):
+        self.columns = list(columns)
+        self.rows: List[Row] = [
+            row if isinstance(row, Row) else Row(self.columns, row)
+            for row in rows]
+        self.rowcount = rowcount if rowcount else len(self.rows)
+
+    def scalar(self) -> Any:
+        """First column of the first row (or None)."""
+        if not self.rows or not self.columns:
+            return None
+        return self.rows[0][self.columns[0]]
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Result(columns={self.columns}, rows={len(self.rows)})"
+
+
+class Table:
+    """One table: column definitions plus a list of row dicts."""
+
+    def __init__(self, name: str, columns: Sequence[nodes.ColumnDef]):
+        self.name = name
+        self.columns = list(columns)
+        self.column_names = [c.name for c in self.columns]
+        self.rows: List[Dict[str, Any]] = []
+
+    def has_column(self, name: str) -> bool:
+        return name in self.column_names
+
+    def add_column(self, column: nodes.ColumnDef) -> None:
+        if self.has_column(column.name):
+            return
+        self.columns.append(column)
+        self.column_names.append(column.name)
+        for row in self.rows:
+            row.setdefault(column.name, None)
+
+
+class Engine:
+    """The in-memory database engine."""
+
+    def __init__(self):
+        self.tables: Dict[str, Table] = {}
+
+    # -- public API -------------------------------------------------------------
+
+    def execute(self, statement) -> Result:
+        """Execute a SQL string or a parsed statement."""
+        if isinstance(statement, str):
+            statement = parse(statement)
+        if isinstance(statement, nodes.CreateTable):
+            return self._create(statement)
+        if isinstance(statement, nodes.DropTable):
+            return self._drop(statement)
+        if isinstance(statement, nodes.Insert):
+            return self._insert(statement)
+        if isinstance(statement, nodes.Select):
+            return self._select(statement)
+        if isinstance(statement, nodes.Update):
+            return self._update(statement)
+        if isinstance(statement, nodes.Delete):
+            return self._delete(statement)
+        raise SQLError(f"cannot execute {type(statement).__name__}")
+
+    def table(self, name: str) -> Table:
+        if name not in self.tables:
+            raise SQLError(f"no such table: {name}")
+        return self.tables[name]
+
+    # -- statement execution ---------------------------------------------------------
+
+    def _create(self, stmt: nodes.CreateTable) -> Result:
+        if stmt.table in self.tables:
+            if stmt.if_not_exists:
+                return Result()
+            raise SQLError(f"table {stmt.table} already exists")
+        self.tables[stmt.table] = Table(stmt.table, stmt.columns)
+        return Result()
+
+    def _drop(self, stmt: nodes.DropTable) -> Result:
+        if stmt.table not in self.tables:
+            if stmt.if_exists:
+                return Result()
+            raise SQLError(f"no such table: {stmt.table}")
+        del self.tables[stmt.table]
+        return Result()
+
+    def _insert(self, stmt: nodes.Insert) -> Result:
+        table = self.table(stmt.table)
+        for column in stmt.columns:
+            if not table.has_column(column):
+                raise SQLError(
+                    f"table {table.name} has no column {column!r}")
+        inserted = 0
+        for row_exprs in stmt.rows:
+            row = {name: None for name in table.column_names}
+            for column, expr in zip(stmt.columns, row_exprs):
+                row[column] = _stored_value(self._evaluate(expr, None, table))
+            table.rows.append(row)
+            inserted += 1
+        return Result(rowcount=inserted)
+
+    def _select(self, stmt: nodes.Select) -> Result:
+        if stmt.table is None:
+            # SELECT without FROM: evaluate items against an empty row.
+            columns = [item.output_name for item in stmt.items]
+            values = [self._evaluate(item.expr, {}, None)
+                      for item in stmt.items]
+            return Result(columns, [values])
+
+        table = self.table(stmt.table)
+        matching = [row for row in table.rows
+                    if self._matches(stmt.where, row, table)]
+
+        if self._is_aggregate_select(stmt):
+            columns = [item.output_name for item in stmt.items]
+            values = [self._evaluate_aggregate(item.expr, matching, table)
+                      for item in stmt.items]
+            return Result(columns, [values])
+
+        for ordering in reversed(stmt.order_by):
+            matching = sorted(
+                matching,
+                key=lambda row: _sort_key(
+                    self._evaluate(ordering.expr, row, table)),
+                reverse=ordering.descending)
+
+        if stmt.offset:
+            matching = matching[stmt.offset:]
+        if stmt.limit is not None:
+            matching = matching[:stmt.limit]
+
+        columns: List[str] = []
+        for item in stmt.items:
+            if isinstance(item.expr, nodes.Star):
+                columns.extend(table.column_names)
+            else:
+                columns.append(item.output_name)
+
+        result_rows: List[List[Any]] = []
+        seen = set()
+        for row in matching:
+            values: List[Any] = []
+            for item in stmt.items:
+                if isinstance(item.expr, nodes.Star):
+                    values.extend(row[name] for name in table.column_names)
+                else:
+                    values.append(self._evaluate(item.expr, row, table))
+            if stmt.distinct:
+                key = tuple(str(v) for v in values)
+                if key in seen:
+                    continue
+                seen.add(key)
+            result_rows.append(values)
+        return Result(columns, result_rows)
+
+    def _update(self, stmt: nodes.Update) -> Result:
+        table = self.table(stmt.table)
+        for column, _ in stmt.assignments:
+            if not table.has_column(column):
+                raise SQLError(
+                    f"table {table.name} has no column {column!r}")
+        count = 0
+        for row in table.rows:
+            if self._matches(stmt.where, row, table):
+                for column, expr in stmt.assignments:
+                    row[column] = _stored_value(
+                        self._evaluate(expr, row, table))
+                count += 1
+        return Result(rowcount=count)
+
+    def _delete(self, stmt: nodes.Delete) -> Result:
+        table = self.table(stmt.table)
+        keep = [row for row in table.rows
+                if not self._matches(stmt.where, row, table)]
+        deleted = len(table.rows) - len(keep)
+        table.rows = keep
+        return Result(rowcount=deleted)
+
+    # -- expression evaluation -----------------------------------------------------------
+
+    def _matches(self, where: Optional[nodes.Expr],
+                 row: Dict[str, Any], table: Table) -> bool:
+        if where is None:
+            return True
+        return bool(self._evaluate(where, row, table))
+
+    def _is_aggregate_select(self, stmt: nodes.Select) -> bool:
+        return any(isinstance(item.expr, nodes.FuncCall)
+                   and item.expr.name in ("count", "min", "max", "sum", "avg")
+                   for item in stmt.items)
+
+    def _evaluate_aggregate(self, expr: nodes.Expr,
+                            rows: List[Dict[str, Any]],
+                            table: Table) -> Any:
+        if isinstance(expr, nodes.FuncCall):
+            name = expr.name
+            if name == "count":
+                if expr.star or not expr.args:
+                    return len(rows)
+                values = [self._evaluate(expr.args[0], row, table)
+                          for row in rows]
+                return sum(1 for v in values if v is not None)
+            if name in ("min", "max", "sum", "avg"):
+                values = [self._evaluate(expr.args[0], row, table)
+                          for row in rows]
+                values = [v for v in values if v is not None]
+                if not values:
+                    return None
+                if name == "min":
+                    return min(values)
+                if name == "max":
+                    return max(values)
+                if name == "sum":
+                    return sum(values)
+                return sum(values) / len(values)
+        # Non-aggregate expression in an aggregate query: evaluate against
+        # the first matching row (MySQL-ish permissiveness).
+        return self._evaluate(expr, rows[0] if rows else {}, table)
+
+    def _evaluate(self, expr: nodes.Expr, row: Optional[Dict[str, Any]],
+                  table: Optional[Table]) -> Any:
+        if isinstance(expr, nodes.Literal):
+            return expr.value
+        if isinstance(expr, nodes.ColumnRef):
+            if row is None:
+                raise SQLError(
+                    f"column {expr.name!r} is not allowed in this context")
+            if expr.name in row:
+                return row[expr.name]
+            if table is not None and not table.has_column(expr.name):
+                raise SQLError(
+                    f"no such column: {expr.name}")
+            return None
+        if isinstance(expr, nodes.UnaryOp):
+            value = self._evaluate(expr.operand, row, table)
+            if expr.op == "not":
+                return not bool(value)
+            raise SQLError(f"unsupported unary operator {expr.op}")
+        if isinstance(expr, nodes.BinaryOp):
+            return self._binary(expr, row, table)
+        if isinstance(expr, nodes.InList):
+            value = self._evaluate(expr.operand, row, table)
+            members = [self._evaluate(item, row, table)
+                       for item in expr.items]
+            found = any(_sql_equal(value, member) for member in members)
+            return (not found) if expr.negated else found
+        if isinstance(expr, nodes.IsNull):
+            value = self._evaluate(expr.operand, row, table)
+            return (value is not None) if expr.negated else (value is None)
+        if isinstance(expr, nodes.FuncCall):
+            return self._scalar_function(expr, row, table)
+        if isinstance(expr, nodes.Star):
+            raise SQLError("'*' is not allowed in this context")
+        raise SQLError(f"cannot evaluate {type(expr).__name__}")
+
+    def _binary(self, expr: nodes.BinaryOp, row, table) -> Any:
+        op = expr.op
+        if op == "and":
+            return bool(self._evaluate(expr.left, row, table)) and \
+                bool(self._evaluate(expr.right, row, table))
+        if op == "or":
+            return bool(self._evaluate(expr.left, row, table)) or \
+                bool(self._evaluate(expr.right, row, table))
+        left = self._evaluate(expr.left, row, table)
+        right = self._evaluate(expr.right, row, table)
+        if op == "=":
+            return _sql_equal(left, right)
+        if op == "!=":
+            return not _sql_equal(left, right)
+        if op == "like":
+            return _sql_like(left, right)
+        if left is None or right is None:
+            return False
+        left, right = _coerce_pair(left, right)
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        raise SQLError(f"unsupported operator {op!r}")
+
+    def _scalar_function(self, expr: nodes.FuncCall, row, table) -> Any:
+        args = [self._evaluate(arg, row, table) for arg in expr.args]
+        name = expr.name
+        if name == "lower":
+            return None if args[0] is None else str(args[0]).lower()
+        if name == "upper":
+            return None if args[0] is None else str(args[0]).upper()
+        if name == "length":
+            return None if args[0] is None else len(str(args[0]))
+        if name in ("count", "min", "max", "sum", "avg"):
+            raise SQLError(
+                f"aggregate {name}() not allowed in this context")
+        raise SQLError(f"unknown function {name!r}")
+
+
+def _stored_value(value):
+    """Values stored in a table are plain Python objects.
+
+    The engine stands in for an external database server: data crossing into
+    it loses its in-runtime policy annotations, exactly like data sent to a
+    real MySQL would.  Policies survive the round trip only through the
+    policy columns maintained by :class:`repro.channels.sqlchan.Database` —
+    which is the point of the paper's persistent-policy mechanism.
+    """
+    from ..tracking.propagation import strip_policies
+    return strip_policies(value)
+
+
+def _coerce_pair(left, right):
+    """Coerce operands for comparison (numeric strings compare numerically
+    with numbers, everything else compares as strings)."""
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return left, right
+    if isinstance(left, (int, float)) or isinstance(right, (int, float)):
+        try:
+            return float(left), float(right)
+        except (TypeError, ValueError):
+            return str(left), str(right)
+    return str(left), str(right)
+
+
+def _sql_equal(left, right) -> bool:
+    if left is None or right is None:
+        return False
+    left, right = _coerce_pair(left, right)
+    return left == right
+
+
+def _sql_like(value, pattern) -> bool:
+    if value is None or pattern is None:
+        return False
+    regex = re.escape(str(pattern)).replace("%", ".*").replace("_", ".")
+    return re.fullmatch(regex, str(value), re.IGNORECASE) is not None
+
+
+def _sort_key(value):
+    """Total ordering across NULLs, numbers and strings."""
+    if value is None:
+        return (0, "", 0)
+    if isinstance(value, (int, float)):
+        return (1, "", float(value))
+    return (2, str(value), 0)

@@ -1,0 +1,346 @@
+"""Recursive-descent SQL parser.
+
+Produces :mod:`repro.sql.nodes` AST from a token stream.  The supported
+dialect covers what the paper's applications need: CREATE/DROP TABLE, INSERT,
+SELECT (WHERE / ORDER BY / LIMIT / aggregates), UPDATE and DELETE, with the
+usual comparison operators, ``AND``/``OR``/``NOT``, ``LIKE``, ``IN`` and
+``IS [NOT] NULL``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.exceptions import SQLError
+from . import nodes
+from .tokenizer import (EOF, IDENT, KEYWORD, NUMBER, OP, PUNCT, STRING, Token,
+                        tokenize)
+
+_TYPE_KEYWORDS = {"integer", "int", "text", "real", "float", "varchar", "char"}
+_AGGREGATES = {"count", "min", "max", "sum", "avg"}
+_FUNCTIONS = _AGGREGATES | {"lower", "upper", "length"}
+
+
+class Parser:
+    """Parses one SQL statement."""
+
+    def __init__(self, sql):
+        self.sql = sql
+        self.tokens: List[Token] = tokenize(sql)
+        self.position = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type != EOF:
+            self.position += 1
+        return token
+
+    def check(self, type: str, value=None) -> bool:
+        return self.current.matches(type, value)
+
+    def accept(self, type: str, value=None) -> Optional[Token]:
+        if self.check(type, value):
+            return self.advance()
+        return None
+
+    def expect(self, type: str, value=None) -> Token:
+        if not self.check(type, value):
+            expected = value if value is not None else type
+            raise SQLError(
+                f"expected {expected!r}, found {self.current.value!r} in "
+                f"query: {str(self.sql)[:200]}")
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        # Unreserved keywords may double as identifiers (e.g. a column named
+        # "key"); accept either token type.
+        if self.check(IDENT) or self.check(KEYWORD):
+            return str(self.advance().value)
+        raise SQLError(f"expected identifier, found {self.current.value!r}")
+
+    # -- entry point -------------------------------------------------------------
+
+    def parse(self) -> nodes.Statement:
+        statement = self._statement()
+        self.accept(PUNCT, ";")
+        if not self.check(EOF):
+            raise SQLError(
+                f"unexpected trailing input near {self.current.value!r}")
+        return statement
+
+    def _statement(self) -> nodes.Statement:
+        if self.check(KEYWORD, "create"):
+            return self._create()
+        if self.check(KEYWORD, "drop"):
+            return self._drop()
+        if self.check(KEYWORD, "insert"):
+            return self._insert()
+        if self.check(KEYWORD, "select"):
+            return self._select()
+        if self.check(KEYWORD, "update"):
+            return self._update()
+        if self.check(KEYWORD, "delete"):
+            return self._delete()
+        raise SQLError(f"unsupported statement: {str(self.sql)[:200]}")
+
+    # -- statements ------------------------------------------------------------------
+
+    def _create(self) -> nodes.CreateTable:
+        self.expect(KEYWORD, "create")
+        self.expect(KEYWORD, "table")
+        if_not_exists = False
+        if self.accept(KEYWORD, "if"):
+            self.expect(KEYWORD, "not")
+            self.expect(KEYWORD, "exists")
+            if_not_exists = True
+        table = self.expect_ident()
+        self.expect(PUNCT, "(")
+        columns = [self._column_def()]
+        while self.accept(PUNCT, ","):
+            columns.append(self._column_def())
+        self.expect(PUNCT, ")")
+        return nodes.CreateTable(table, columns, if_not_exists)
+
+    def _column_def(self) -> nodes.ColumnDef:
+        name = self.expect_ident()
+        column_type = "TEXT"
+        if self.current.type == KEYWORD and self.current.value in _TYPE_KEYWORDS:
+            column_type = str(self.advance().value).upper()
+            if self.accept(PUNCT, "("):
+                self.expect(NUMBER)
+                self.expect(PUNCT, ")")
+        constraints: List[str] = []
+        while True:
+            if self.accept(KEYWORD, "primary"):
+                self.expect(KEYWORD, "key")
+                constraints.append("PRIMARY KEY")
+            elif self.accept(KEYWORD, "not"):
+                self.expect(KEYWORD, "null")
+                constraints.append("NOT NULL")
+            elif self.accept(KEYWORD, "unique"):
+                constraints.append("UNIQUE")
+            elif self.accept(KEYWORD, "autoincrement"):
+                constraints.append("AUTOINCREMENT")
+            elif self.accept(KEYWORD, "default"):
+                literal = self._primary()
+                constraints.append(f"DEFAULT {literal.to_sql()}")
+            else:
+                break
+        return nodes.ColumnDef(name, column_type, constraints)
+
+    def _drop(self) -> nodes.DropTable:
+        self.expect(KEYWORD, "drop")
+        self.expect(KEYWORD, "table")
+        if_exists = False
+        if self.accept(KEYWORD, "if"):
+            self.expect(KEYWORD, "exists")
+            if_exists = True
+        return nodes.DropTable(self.expect_ident(), if_exists)
+
+    def _insert(self) -> nodes.Insert:
+        self.expect(KEYWORD, "insert")
+        self.expect(KEYWORD, "into")
+        table = self.expect_ident()
+        self.expect(PUNCT, "(")
+        columns = [self.expect_ident()]
+        while self.accept(PUNCT, ","):
+            columns.append(self.expect_ident())
+        self.expect(PUNCT, ")")
+        self.expect(KEYWORD, "values")
+        rows = [self._value_tuple(len(columns))]
+        while self.accept(PUNCT, ","):
+            rows.append(self._value_tuple(len(columns)))
+        return nodes.Insert(table, columns, rows)
+
+    def _value_tuple(self, expected_arity: int) -> List[nodes.Expr]:
+        self.expect(PUNCT, "(")
+        values = [self._expression()]
+        while self.accept(PUNCT, ","):
+            values.append(self._expression())
+        self.expect(PUNCT, ")")
+        if len(values) != expected_arity:
+            raise SQLError(
+                f"INSERT arity mismatch: {len(values)} values for "
+                f"{expected_arity} columns")
+        return values
+
+    def _select(self) -> nodes.Select:
+        self.expect(KEYWORD, "select")
+        distinct = bool(self.accept(KEYWORD, "distinct"))
+        items = [self._select_item()]
+        while self.accept(PUNCT, ","):
+            items.append(self._select_item())
+        table = None
+        if self.accept(KEYWORD, "from"):
+            table = self.expect_ident()
+        where = None
+        if self.accept(KEYWORD, "where"):
+            where = self._expression()
+        order_by: List[nodes.OrderBy] = []
+        if self.accept(KEYWORD, "order"):
+            self.expect(KEYWORD, "by")
+            order_by.append(self._ordering())
+            while self.accept(PUNCT, ","):
+                order_by.append(self._ordering())
+        limit = offset = None
+        if self.accept(KEYWORD, "limit"):
+            limit = int(self.expect(NUMBER).value)
+            if self.accept(KEYWORD, "offset"):
+                offset = int(self.expect(NUMBER).value)
+        return nodes.Select(items, table, where, order_by, limit, offset,
+                            distinct)
+
+    def _select_item(self) -> nodes.SelectItem:
+        if self.accept(PUNCT, "*"):
+            return nodes.SelectItem(nodes.Star())
+        expr = self._expression()
+        alias = None
+        if self.accept(KEYWORD, "as"):
+            alias = self.expect_ident()
+        elif self.check(IDENT):
+            alias = str(self.advance().value)
+        return nodes.SelectItem(expr, alias)
+
+    def _ordering(self) -> nodes.OrderBy:
+        expr = self._expression()
+        descending = False
+        if self.accept(KEYWORD, "desc"):
+            descending = True
+        else:
+            self.accept(KEYWORD, "asc")
+        return nodes.OrderBy(expr, descending)
+
+    def _update(self) -> nodes.Update:
+        self.expect(KEYWORD, "update")
+        table = self.expect_ident()
+        self.expect(KEYWORD, "set")
+        assignments: List[Tuple[str, nodes.Expr]] = [self._assignment()]
+        while self.accept(PUNCT, ","):
+            assignments.append(self._assignment())
+        where = None
+        if self.accept(KEYWORD, "where"):
+            where = self._expression()
+        return nodes.Update(table, assignments, where)
+
+    def _assignment(self) -> Tuple[str, nodes.Expr]:
+        column = self.expect_ident()
+        self.expect(OP, "=")
+        return column, self._expression()
+
+    def _delete(self) -> nodes.Delete:
+        self.expect(KEYWORD, "delete")
+        self.expect(KEYWORD, "from")
+        table = self.expect_ident()
+        where = None
+        if self.accept(KEYWORD, "where"):
+            where = self._expression()
+        return nodes.Delete(table, where)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _expression(self) -> nodes.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> nodes.Expr:
+        left = self._and_expr()
+        while self.accept(KEYWORD, "or"):
+            left = nodes.BinaryOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> nodes.Expr:
+        left = self._not_expr()
+        while self.accept(KEYWORD, "and"):
+            left = nodes.BinaryOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> nodes.Expr:
+        if self.accept(KEYWORD, "not"):
+            return nodes.UnaryOp("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> nodes.Expr:
+        left = self._primary()
+        if self.current.type == OP:
+            op = str(self.advance().value)
+            return nodes.BinaryOp(op, left, self._primary())
+        if self.accept(KEYWORD, "like"):
+            return nodes.BinaryOp("like", left, self._primary())
+        if self.check(KEYWORD, "not"):
+            saved = self.position
+            self.advance()
+            if self.accept(KEYWORD, "like"):
+                return nodes.UnaryOp(
+                    "not", nodes.BinaryOp("like", left, self._primary()))
+            if self.accept(KEYWORD, "in"):
+                return self._in_list(left, negated=True)
+            self.position = saved
+            return left
+        if self.accept(KEYWORD, "in"):
+            return self._in_list(left, negated=False)
+        if self.accept(KEYWORD, "is"):
+            negated = bool(self.accept(KEYWORD, "not"))
+            self.expect(KEYWORD, "null")
+            return nodes.IsNull(left, negated)
+        return left
+
+    def _in_list(self, operand: nodes.Expr, negated: bool) -> nodes.Expr:
+        self.expect(PUNCT, "(")
+        items = [self._expression()]
+        while self.accept(PUNCT, ","):
+            items.append(self._expression())
+        self.expect(PUNCT, ")")
+        return nodes.InList(operand, items, negated)
+
+    def _primary(self) -> nodes.Expr:
+        if self.accept(PUNCT, "("):
+            expr = self._expression()
+            self.expect(PUNCT, ")")
+            return expr
+        if self.check(OP, "-") or self.check(OP, "+"):
+            sign = str(self.advance().value)
+            operand = self._primary()
+            if sign == "+":
+                return operand
+            if isinstance(operand, nodes.Literal) \
+                    and isinstance(operand.value, (int, float)):
+                return nodes.Literal(-operand.value)
+            raise SQLError("unary minus is only supported on numeric literals")
+        if self.check(STRING):
+            return nodes.Literal(self.advance().value)
+        if self.check(NUMBER):
+            return nodes.Literal(self.advance().value)
+        if self.accept(KEYWORD, "null"):
+            return nodes.Literal(None)
+        if (self.current.type in (IDENT, KEYWORD)
+                and str(self.current.value).lower() in _FUNCTIONS
+                and self.tokens[self.position + 1].matches(PUNCT, "(")):
+            name = str(self.advance().value)
+            self.expect(PUNCT, "(")
+            if self.accept(PUNCT, "*"):
+                self.expect(PUNCT, ")")
+                return nodes.FuncCall(name, [], star=True)
+            args = [self._expression()]
+            while self.accept(PUNCT, ","):
+                args.append(self._expression())
+            self.expect(PUNCT, ")")
+            return nodes.FuncCall(name, args)
+        if self.check(IDENT) or self.check(KEYWORD):
+            name = self.expect_ident()
+            if self.accept(PUNCT, "."):
+                if self.accept(PUNCT, "*"):
+                    return nodes.Star(name)
+                return nodes.ColumnRef(self.expect_ident(), table=name)
+            return nodes.ColumnRef(name)
+        raise SQLError(
+            f"unexpected token {self.current.value!r} in expression")
+
+
+def parse(sql) -> nodes.Statement:
+    """Parse one SQL statement into an AST."""
+    return Parser(sql).parse()

@@ -1,0 +1,191 @@
+"""SQL tokenizer.
+
+Tokenizes a (possibly tainted) SQL query string while preserving the
+character-level policies of every token: each token keeps the
+:class:`~repro.tracking.tainted_str.TaintedStr` slice it was read from, so
+the SQL-injection filter can ask "does any character of the query's
+*structure* carry ``UntrustedData``?" (the second strategy of Section 5.3),
+and the persistence filter can recover the policies of string literals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.exceptions import SQLError
+from ..tracking.tainted_str import TaintedStr
+
+KEYWORDS = frozenset("""
+    select from where and or not insert into values update set delete create
+    table drop if exists primary key null like in is order by asc desc limit
+    offset integer int text real varchar char float distinct as count min max
+    sum avg lower upper length unique default autoincrement
+""".split())
+
+#: Token types.
+KEYWORD = "KEYWORD"
+IDENT = "IDENT"
+STRING = "STRING"
+NUMBER = "NUMBER"
+OP = "OP"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+#: Multi- and single-character operators, longest first.
+_OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">", "+", "-")
+_PUNCTUATION = "(),.;*"
+
+
+class Token:
+    """One lexical token.
+
+    ``text`` is the tainted source slice (including quotes for strings);
+    ``value`` is the cooked value (unescaped string content, int/float for
+    numbers, lower-cased text for keywords).
+    """
+
+    __slots__ = ("type", "value", "text", "start", "end")
+
+    def __init__(self, type: str, value, text, start: int, end: int):
+        self.type = type
+        self.value = value
+        self.text = text
+        self.start = start
+        self.end = end
+
+    def matches(self, type: str, value=None) -> bool:
+        if self.type != type:
+            return False
+        return value is None or self.value == value
+
+    def __repr__(self) -> str:
+        return f"Token({self.type}, {self.value!r})"
+
+
+def tokenize(sql) -> List[Token]:
+    """Tokenize ``sql`` into a list of tokens ending with an EOF token."""
+    if not isinstance(sql, TaintedStr):
+        sql = TaintedStr(sql)
+    tokens: List[Token] = []
+    index = 0
+    length = len(sql)
+    text = str(sql)
+
+    while index < length:
+        char = text[index]
+
+        if char.isspace():
+            index += 1
+            continue
+
+        if text.startswith("--", index):
+            newline = text.find("\n", index)
+            index = length if newline < 0 else newline + 1
+            continue
+
+        if text.startswith("/*", index):
+            end = text.find("*/", index + 2)
+            if end < 0:
+                raise SQLError("unterminated comment")
+            index = end + 2
+            continue
+
+        if char == "'":
+            token, index = _read_string(sql, text, index)
+            tokens.append(token)
+            continue
+
+        if char.isdigit() or (char == "." and index + 1 < length
+                              and text[index + 1].isdigit()):
+            token, index = _read_number(sql, text, index)
+            tokens.append(token)
+            continue
+
+        if char.isalpha() or char == "_" or char == "`":
+            token, index = _read_word(sql, text, index)
+            tokens.append(token)
+            continue
+
+        matched_op: Optional[str] = None
+        for op in _OPERATORS:
+            if text.startswith(op, index):
+                matched_op = op
+                break
+        if matched_op:
+            tokens.append(Token(OP, "!=" if matched_op == "<>" else matched_op,
+                                sql[index:index + len(matched_op)],
+                                index, index + len(matched_op)))
+            index += len(matched_op)
+            continue
+
+        if char in _PUNCTUATION:
+            tokens.append(Token(PUNCT, char, sql[index:index + 1],
+                                index, index + 1))
+            index += 1
+            continue
+
+        raise SQLError(f"unexpected character {char!r} at position {index}")
+
+    tokens.append(Token(EOF, None, TaintedStr(""), length, length))
+    return tokens
+
+
+def _read_string(sql: TaintedStr, text: str, index: int):
+    """Read a single-quoted string literal with ``''`` escaping.
+
+    The cooked value is assembled from tainted slices of the source so that
+    the literal's characters keep their policies.
+    """
+    start = index
+    index += 1
+    pieces = []
+    while True:
+        if index >= len(text):
+            raise SQLError("unterminated string literal")
+        char = text[index]
+        if char == "'":
+            if index + 1 < len(text) and text[index + 1] == "'":
+                pieces.append(sql[index:index + 1])
+                index += 2
+                continue
+            index += 1
+            break
+        pieces.append(sql[index:index + 1])
+        index += 1
+    value = TaintedStr("")
+    for piece in pieces:
+        value = value + piece
+    return Token(STRING, value, sql[start:index], start, index), index
+
+
+def _read_number(sql: TaintedStr, text: str, index: int):
+    start = index
+    seen_dot = False
+    while index < len(text) and (text[index].isdigit()
+                                 or (text[index] == "." and not seen_dot)):
+        if text[index] == ".":
+            seen_dot = True
+        index += 1
+    literal = text[start:index]
+    value = float(literal) if seen_dot else int(literal)
+    return Token(NUMBER, value, sql[start:index], start, index), index
+
+
+def _read_word(sql: TaintedStr, text: str, index: int):
+    start = index
+    quoted = text[index] == "`"
+    if quoted:
+        index += 1
+        start = index
+        while index < len(text) and text[index] != "`":
+            index += 1
+        word = text[start:index]
+        end = index + 1
+        return Token(IDENT, word, sql[start - 1:end], start - 1, end), end
+    while index < len(text) and (text[index].isalnum() or text[index] == "_"):
+        index += 1
+    word = text[start:index]
+    lowered = word.lower()
+    if lowered in KEYWORDS:
+        return Token(KEYWORD, lowered, sql[start:index], start, index), index
+    return Token(IDENT, word, sql[start:index], start, index), index

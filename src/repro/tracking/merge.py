@@ -1,0 +1,54 @@
+"""Policy merging.
+
+Character-level tracking avoids most merges, but some operations combine data
+elements in ways that cannot be attributed to individual characters — integer
+addition, hashing, checksums (Section 3.4.2).  For those, RESIN invokes each
+policy's ``merge`` method, passing the other operand's entire policy set, and
+labels the result with the union of everything the merge methods return.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.policy import Policy
+from ..core.policyset import PolicySet, as_policyset
+
+
+def merge_policysets(left, right) -> PolicySet:
+    """Merge two policy sets according to the RESIN protocol.
+
+    For every policy ``p`` of each operand, call ``p.merge(other_operand)``;
+    the result is the union of all returned policies.  A policy may raise
+    :class:`~repro.core.exceptions.MergeError` to veto the merge entirely.
+    """
+    left = as_policyset(left)
+    right = as_policyset(right)
+    if not left and not right:
+        return PolicySet.empty()
+
+    result: PolicySet = PolicySet.empty()
+    for policy in left:
+        result = result.union(_as_policies(policy.merge(right)))
+    for policy in right:
+        result = result.union(_as_policies(policy.merge(left)))
+    return result
+
+
+def merge_many(policysets: Iterable) -> PolicySet:
+    """Fold :func:`merge_policysets` over several operands."""
+    sets = [as_policyset(p) for p in policysets]
+    if not sets:
+        return PolicySet.empty()
+    result = sets[0]
+    for other in sets[1:]:
+        result = merge_policysets(result, other)
+    return result
+
+
+def _as_policies(value) -> Iterable[Policy]:
+    if value is None:
+        return ()
+    if isinstance(value, Policy):
+        return (value,)
+    return tuple(value)

@@ -1,0 +1,270 @@
+"""Character-range policy maps.
+
+RESIN tracks policies at character granularity (Section 3.4): concatenating a
+string annotated with policy ``p1`` and one annotated with ``p2`` yields a
+string whose first characters carry only ``p1`` and whose last characters
+carry only ``p2``.  :class:`RangeMap` is the data structure behind that: an
+ordered list of half-open ``[start, stop)`` ranges, each mapping to a
+:class:`~repro.core.policyset.PolicySet`.  Ranges never overlap, are always
+sorted, and adjacent ranges with equal policy sets are coalesced.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..core.policy import Policy
+from ..core.policyset import PolicySet, as_policyset
+
+
+class PolicyRange:
+    """A half-open character range ``[start, stop)`` carrying a policy set."""
+
+    __slots__ = ("start", "stop", "policies")
+
+    def __init__(self, start: int, stop: int, policies: PolicySet):
+        if start < 0 or stop < start:
+            raise ValueError(f"invalid range [{start}, {stop})")
+        self.start = start
+        self.stop = stop
+        self.policies = as_policyset(policies)
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PolicyRange):
+            return NotImplemented
+        return (self.start == other.start and self.stop == other.stop
+                and self.policies == other.policies)
+
+    def __repr__(self) -> str:
+        return f"PolicyRange({self.start}, {self.stop}, {self.policies!r})"
+
+    def shifted(self, delta: int) -> "PolicyRange":
+        return PolicyRange(self.start + delta, self.stop + delta,
+                           self.policies)
+
+
+class RangeMap:
+    """Maps character positions of a string of length ``length`` to policy
+    sets.
+
+    Positions not covered by any range have the empty policy set.  The map is
+    immutable: every operation returns a new map.
+    """
+
+    __slots__ = ("length", "_ranges")
+
+    def __init__(self, length: int,
+                 ranges: Iterable[PolicyRange] = ()):
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        self.length = length
+        self._ranges: Tuple[PolicyRange, ...] = self._normalize(length, ranges)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def empty(cls, length: int) -> "RangeMap":
+        return cls(length)
+
+    @classmethod
+    def uniform(cls, length: int, policies) -> "RangeMap":
+        """A map in which every position carries ``policies``."""
+        pset = as_policyset(policies)
+        if length == 0 or not pset:
+            return cls(length)
+        return cls(length, [PolicyRange(0, length, pset)])
+
+    @staticmethod
+    def _normalize(length: int,
+                   ranges: Iterable[PolicyRange]) -> Tuple[PolicyRange, ...]:
+        # Clamp to [0, length), drop empty ranges and empty policy sets,
+        # split overlaps by recomputing per-boundary segments, and coalesce
+        # adjacent equal segments.
+        clamped: List[PolicyRange] = []
+        for rng in ranges:
+            start = max(0, rng.start)
+            stop = min(length, rng.stop)
+            if stop > start and rng.policies:
+                clamped.append(PolicyRange(start, stop, rng.policies))
+        if not clamped:
+            return ()
+
+        boundaries = sorted({r.start for r in clamped}
+                            | {r.stop for r in clamped})
+        segments: List[PolicyRange] = []
+        for lo, hi in zip(boundaries, boundaries[1:]):
+            policies: PolicySet = PolicySet.empty()
+            for rng in clamped:
+                if rng.start <= lo and hi <= rng.stop:
+                    policies = policies.union(rng.policies)
+            if policies:
+                segments.append(PolicyRange(lo, hi, policies))
+
+        coalesced: List[PolicyRange] = []
+        for seg in segments:
+            if (coalesced and coalesced[-1].stop == seg.start
+                    and coalesced[-1].policies == seg.policies):
+                coalesced[-1] = PolicyRange(
+                    coalesced[-1].start, seg.stop, seg.policies)
+            else:
+                coalesced.append(seg)
+        return tuple(coalesced)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def ranges(self) -> Tuple[PolicyRange, ...]:
+        return self._ranges
+
+    def is_empty(self) -> bool:
+        """True if no position carries any policy."""
+        return not self._ranges
+
+    def policies_at(self, index: int) -> PolicySet:
+        """Policy set at character position ``index``."""
+        if index < 0:
+            index += self.length
+        if not 0 <= index < self.length:
+            raise IndexError("position out of range")
+        for rng in self._ranges:
+            if rng.start <= index < rng.stop:
+                return rng.policies
+        return PolicySet.empty()
+
+    def all_policies(self) -> PolicySet:
+        """Union of the policies of every position."""
+        result = PolicySet.empty()
+        for rng in self._ranges:
+            result = result.union(rng.policies)
+        return result
+
+    def covered(self) -> int:
+        """Number of positions carrying at least one policy."""
+        return sum(len(rng) for rng in self._ranges)
+
+    def positions_with(self, policy_type) -> Iterator[int]:
+        """Yield every position whose policy set contains an instance of
+        ``policy_type``."""
+        for rng in self._ranges:
+            if rng.policies.has_type(policy_type):
+                yield from range(rng.start, rng.stop)
+
+    def every_position_has(self, policy_type) -> bool:
+        """True if every position (of a non-empty string) carries a policy of
+        ``policy_type``."""
+        if self.length == 0:
+            return True
+        covered = 0
+        for rng in self._ranges:
+            if rng.policies.has_type(policy_type):
+                covered += len(rng)
+        return covered == self.length
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RangeMap):
+            return NotImplemented
+        return self.length == other.length and self._ranges == other._ranges
+
+    def __repr__(self) -> str:
+        return f"RangeMap(length={self.length}, ranges={list(self._ranges)!r})"
+
+    # -- transformations ------------------------------------------------------
+
+    def slice(self, start: int, stop: int, step: int = 1) -> "RangeMap":
+        """Range map for ``s[start:stop:step]`` of a string with this map.
+
+        ``start``, ``stop`` and ``step`` must already be resolved the way
+        ``slice.indices(len(s))`` resolves them (the tainted value types do
+        this before calling); resolving them again here would mangle the
+        sentinel values CPython uses for empty negative-step slices.
+        """
+        if step == 0:
+            raise ValueError("slice step cannot be zero")
+        positions = range(start, stop, step)
+        new_length = len(positions)
+        if step == 1:
+            lo = max(0, min(start, self.length))
+            hi = max(lo, min(stop, self.length))
+            shifted = [PolicyRange(max(r.start, lo) - lo,
+                                   min(r.stop, hi) - lo,
+                                   r.policies)
+                       for r in self._ranges
+                       if r.stop > lo and r.start < hi]
+            return RangeMap(new_length, shifted)
+        ranges = []
+        for new_index, old_index in enumerate(positions):
+            if not 0 <= old_index < self.length:
+                continue
+            pset = self.policies_at(old_index)
+            if pset:
+                ranges.append(PolicyRange(new_index, new_index + 1, pset))
+        return RangeMap(new_length, ranges)
+
+    def concat(self, other: "RangeMap") -> "RangeMap":
+        """Range map for the concatenation of two strings."""
+        shifted = [r.shifted(self.length) for r in other._ranges]
+        return RangeMap(self.length + other.length,
+                        list(self._ranges) + shifted)
+
+    def repeat(self, count: int) -> "RangeMap":
+        """Range map for ``s * count``."""
+        if count <= 0:
+            return RangeMap(0)
+        result = self
+        for _ in range(count - 1):
+            result = result.concat(self)
+        return result
+
+    def add_policy(self, policy: Policy,
+                   start: int = 0, stop: Optional[int] = None) -> "RangeMap":
+        """Attach ``policy`` to positions ``[start, stop)`` (whole string by
+        default)."""
+        if stop is None:
+            stop = self.length
+        new_range = PolicyRange(max(0, start), min(self.length, stop),
+                                PolicySet.of(policy))
+        if len(new_range) == 0:
+            return self
+        return RangeMap(self.length, list(self._ranges) + [new_range])
+
+    def remove_policy(self, policy: Policy) -> "RangeMap":
+        """Remove ``policy`` from every position."""
+        return RangeMap(self.length, [
+            PolicyRange(r.start, r.stop, r.policies.remove(policy))
+            for r in self._ranges])
+
+    def remove_policy_type(self, policy_type) -> "RangeMap":
+        """Remove every policy of ``policy_type`` from every position."""
+        return RangeMap(self.length, [
+            PolicyRange(r.start, r.stop, r.policies.without_type(policy_type))
+            for r in self._ranges])
+
+    def with_length(self, length: int) -> "RangeMap":
+        """Clamp or extend the map to a new string length.
+
+        New positions (if any) carry no policy; positions beyond ``length``
+        are dropped.  Used by transformations that change string length in
+        ways we cannot track per-character (rare unicode case mappings)."""
+        return RangeMap(length, self._ranges)
+
+    def spread(self, length: int) -> "RangeMap":
+        """Apply the union of all policies to every position of a string of
+        ``length`` characters.  Used as the conservative fallback for
+        operations whose per-character mapping is unknown."""
+        return RangeMap.uniform(length, self.all_policies())
+
+    # -- (de)serialization helpers --------------------------------------------
+
+    def to_segments(self) -> List[Tuple[int, int, List[Policy]]]:
+        """Plain-data view of the map, for persistence."""
+        return [(r.start, r.stop, list(r.policies)) for r in self._ranges]
+
+    @classmethod
+    def from_segments(cls, length: int,
+                      segments: Iterable[Tuple[int, int, Iterable[Policy]]]
+                      ) -> "RangeMap":
+        return cls(length, [PolicyRange(start, stop, as_policyset(policies))
+                            for start, stop, policies in segments])

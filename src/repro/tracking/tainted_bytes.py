@@ -1,0 +1,168 @@
+"""Byte-level policy tracking.
+
+File and socket data is tracked at byte granularity (Section 3.4.1): a file's
+policy map covers byte ranges, just as a string's covers character ranges.
+:class:`TaintedBytes` mirrors :class:`~repro.tracking.tainted_str.TaintedStr`
+for the operations the channels and filesystem substrates need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..core.policy import Policy
+from ..core.policyset import PolicySet, as_policyset
+from .ranges import PolicyRange, RangeMap
+
+__all__ = ["TaintedBytes", "taint_bytes", "rangemap_of_bytes"]
+
+
+def rangemap_of_bytes(value) -> RangeMap:
+    if isinstance(value, TaintedBytes):
+        return value.rangemap
+    if isinstance(value, (bytes, bytearray)):
+        return RangeMap.empty(len(value))
+    raise TypeError(f"expected bytes, got {type(value).__name__}")
+
+
+def taint_bytes(value: bytes, policies=None,
+                rangemap: Optional[RangeMap] = None) -> "TaintedBytes":
+    if rangemap is None:
+        rangemap = rangemap_of_bytes(value)
+        for policy in as_policyset(policies):
+            rangemap = rangemap.add_policy(policy)
+    return TaintedBytes(value, rangemap)
+
+
+class TaintedBytes(bytes):
+    """A bytes object carrying per-byte policy sets."""
+
+
+    def __new__(cls, value: bytes = b"", rangemap: Optional[RangeMap] = None):
+        self = super().__new__(cls, value)
+        if rangemap is None:
+            if isinstance(value, TaintedBytes):
+                rangemap = value.rangemap
+            else:
+                rangemap = RangeMap.empty(len(self))
+        if rangemap.length != len(self):
+            raise ValueError("rangemap length does not match bytes length")
+        self._rangemap = rangemap
+        return self
+
+    # -- policy access ---------------------------------------------------------
+
+    @property
+    def rangemap(self) -> RangeMap:
+        return self._rangemap
+
+    def policies(self) -> PolicySet:
+        return self._rangemap.all_policies()
+
+    def policies_at(self, index: int) -> PolicySet:
+        return self._rangemap.policies_at(index)
+
+    def has_policy_type(self, policy_type, *, every_byte: bool = False) -> bool:
+        if every_byte:
+            return self._rangemap.every_position_has(policy_type)
+        return self._rangemap.all_policies().has_type(policy_type)
+
+    def with_policy(self, policy: Policy, start: int = 0,
+                    stop: Optional[int] = None) -> "TaintedBytes":
+        return TaintedBytes(bytes(self),
+                            self._rangemap.add_policy(policy, start, stop))
+
+    def without_policy(self, policy: Policy) -> "TaintedBytes":
+        return TaintedBytes(bytes(self), self._rangemap.remove_policy(policy))
+
+    def without_policy_type(self, policy_type) -> "TaintedBytes":
+        return TaintedBytes(bytes(self),
+                            self._rangemap.remove_policy_type(policy_type))
+
+    def plain(self) -> bytes:
+        return bytes(self)
+
+    # -- operations ---------------------------------------------------------------
+
+    def __add__(self, other):
+        if not isinstance(other, (bytes, bytearray)):
+            return NotImplemented
+        raw = bytes.__add__(self, bytes(other))
+        return TaintedBytes(raw,
+                            self._rangemap.concat(rangemap_of_bytes(other)))
+
+    def __radd__(self, other):
+        if not isinstance(other, (bytes, bytearray)):
+            return NotImplemented
+        raw = bytes(other) + bytes(self)
+        return TaintedBytes(raw,
+                            rangemap_of_bytes(other).concat(self._rangemap))
+
+    def __mul__(self, count):
+        if not isinstance(count, int):
+            return NotImplemented
+        return TaintedBytes(bytes.__mul__(self, count),
+                            self._rangemap.repeat(count))
+
+    __rmul__ = __mul__
+
+    def __getitem__(self, key):
+        raw = bytes.__getitem__(self, key)
+        if isinstance(key, slice):
+            start, stop, step = key.indices(len(self))
+            return TaintedBytes(raw, self._rangemap.slice(start, stop, step))
+        return raw  # single index returns an int, which carries no policy
+
+    def slice_with_policies(self, start: int, stop: int) -> "TaintedBytes":
+        """Explicit tainted slice (``b[i:j]`` already preserves policies;
+        this spelling reads better in filter code)."""
+        return self[start:stop]
+
+    def decode(self, encoding: str = "utf-8", errors: str = "strict"):
+        from .tainted_str import TaintedStr
+        text = bytes.decode(self, encoding, errors)
+        if self._rangemap.is_empty():
+            return TaintedStr(text)
+        # Map byte ranges to character ranges by decoding incrementally.
+        segments: List[PolicyRange] = []
+        char_index = 0
+        byte_index = 0
+        for char in text:
+            encoded = char.encode(encoding, errors)
+            pset = PolicySet.empty()
+            for offset in range(len(encoded)):
+                if byte_index + offset < len(self):
+                    pset = pset.union(
+                        self._rangemap.policies_at(byte_index + offset))
+            if pset:
+                segments.append(PolicyRange(char_index, char_index + 1, pset))
+            byte_index += len(encoded)
+            char_index += 1
+        return TaintedStr(text, RangeMap(len(text), segments))
+
+    def join(self, iterable):
+        items = [item if isinstance(item, TaintedBytes) else TaintedBytes(item)
+                 for item in iterable]
+        raw = bytes(self).join(bytes(item) for item in items)
+        rmap = RangeMap.empty(0)
+        for index, item in enumerate(items):
+            if index:
+                rmap = rmap.concat(self._rangemap)
+            rmap = rmap.concat(item.rangemap)
+        return TaintedBytes(raw, rmap)
+
+    def split(self, sep=None, maxsplit: int = -1):
+        parts = bytes.split(self, sep, maxsplit)
+        located = []
+        cursor = 0
+        for part in parts:
+            found = bytes.find(self, part, cursor) if part else cursor
+            located.append(self[found:found + len(part)])
+            cursor = found + len(part)
+        return located
+
+    def __repr__(self) -> str:
+        return bytes.__repr__(self)
+
+    def __reduce__(self):
+        return (bytes, (bytes(self),))

@@ -1,0 +1,9 @@
+"""Web substrate: requests, sessions, routing and sanitizers."""
+
+from .app import WebApplication
+from .request import Request
+from .sanitize import html_escape, json_encode, sql_quote, strip_tags
+from .session import Session, SessionStore
+
+__all__ = ["WebApplication", "Request", "Session", "SessionStore",
+           "sql_quote", "html_escape", "json_encode", "strip_tags"]

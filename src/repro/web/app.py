@@ -1,0 +1,113 @@
+"""A miniature web framework.
+
+``WebApplication`` dispatches :class:`~repro.web.request.Request` objects to
+route handlers, giving each request its own
+:class:`~repro.channels.httpout.HTTPOutputChannel` (the RESIN data flow
+boundary to the browser).  It also plays the role of the RESIN-aware web
+server of Section 3.4.1: static files are served only after invoking the
+policies stored in the file's extended attributes, and files with an
+executable extension are run through the interpreter's code-import channel
+rather than served raw.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..channels.httpout import HTTPOutputChannel
+from ..core.exceptions import HTTPError, PolicyViolation
+from ..core.filter import Filter
+from ..fs import path as fspath
+from .request import Request
+
+Handler = Callable[[Request, HTTPOutputChannel], None]
+
+
+class WebApplication:
+    """Routes requests and serves static files for one application."""
+
+    #: File extensions treated as server-side scripts when served from a
+    #: static directory (the server-side script injection vector of
+    #: Section 2: uploaded ``.php`` files can be executed by requesting them).
+    SCRIPT_EXTENSIONS = ("php", "py")
+
+    def __init__(self, env, name: str = "app"):
+        self.env = env
+        self.name = name
+        self.routes: Dict[str, Handler] = {}
+        self.static_mounts: List[Tuple[str, str]] = []
+        self.response_filters: List[Filter] = []
+        #: Called with the request before dispatch; applications use it to
+        #: resolve sessions and mark untrusted input.
+        self.before_request: List[Callable[[Request], None]] = []
+        #: When True, PolicyViolation exceptions escaping a handler become
+        #: HTTP 403 responses instead of propagating to the caller.
+        self.catch_violations = False
+
+    # -- configuration ------------------------------------------------------------
+
+    def route(self, path: str) -> Callable[[Handler], Handler]:
+        def decorator(handler: Handler) -> Handler:
+            self.routes[path] = handler
+            return handler
+        return decorator
+
+    def add_static_mount(self, url_prefix: str, directory: str) -> None:
+        """Serve files under ``directory`` at ``url_prefix``."""
+        self.static_mounts.append((url_prefix.rstrip("/"), directory))
+
+    def add_response_filter(self, flt: Filter) -> None:
+        """Stack a filter on every response channel (e.g. an XSS filter)."""
+        self.response_filters.append(flt)
+
+    # -- request handling ------------------------------------------------------------------
+
+    def handle(self, request: Request) -> HTTPOutputChannel:
+        """Process one request and return the response channel."""
+        response = HTTPOutputChannel({"url": request.path})
+        response.set_user(request.user)
+        for flt in self.response_filters:
+            response.add_filter(flt)
+        self.env.fs.set_request_context(user=request.user)
+        try:
+            for hook in self.before_request:
+                hook(request)
+            handler = self.routes.get(request.path)
+            if handler is not None:
+                handler(request, response)
+            else:
+                self._serve_static(request, response)
+        except HTTPError as exc:
+            response.set_status(exc.status)
+            response.chunks.append(str(exc))
+        except PolicyViolation as exc:
+            if not self.catch_violations:
+                raise
+            response.set_status(403)
+            response.chunks.append(f"Forbidden: {exc}")
+        finally:
+            self.env.fs.clear_request_context()
+        return response
+
+    # -- static files (the RESIN-aware web server) ----------------------------------------------
+
+    def _serve_static(self, request: Request, response: HTTPOutputChannel) -> None:
+        for prefix, directory in self.static_mounts:
+            if not request.path.startswith(prefix + "/") and request.path != prefix:
+                continue
+            relative = request.path[len(prefix):].lstrip("/")
+            target = fspath.join(directory, relative)
+            if not self.env.fs.isfile(target):
+                continue
+            if fspath.extension(target) in self.SCRIPT_EXTENSIONS:
+                # Executing a server-side script: the code flows through the
+                # interpreter's import channel, where the script-injection
+                # assertion (if installed) checks for CodeApproval.
+                self.env.interpreter.execute_file(target, request, response)
+                return
+            content = self.env.fs.read_bytes(target)
+            # A RESIN-aware web server invokes the file's policy objects
+            # before transmitting the file (Section 3.4.1).
+            response.write(content.decode("utf-8", "replace"))
+            return
+        raise HTTPError(404, f"not found: {request.path}")

@@ -1,0 +1,57 @@
+"""HTTP requests.
+
+A :class:`Request` models one browser request: method, path, query/form
+parameters, cookies and the authenticated user (resolved by the application
+from credentials or a session).  Parameter values are plain strings; the
+untrusted-input assertion (:func:`repro.security.assertions.mark_request_untrusted`)
+is what annotates them with ``UntrustedData`` — marking inputs is part of an
+assertion, not of the substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..tracking.tainted_str import TaintedStr
+
+
+class Request:
+    """One HTTP request."""
+
+    def __init__(self, path: str, method: str = "GET",
+                 params: Optional[Dict[str, Any]] = None,
+                 cookies: Optional[Dict[str, str]] = None,
+                 user: Optional[str] = None,
+                 remote_addr: str = "127.0.0.1",
+                 files: Optional[Dict[str, Any]] = None):
+        self.path = str(path)
+        self.method = method.upper()
+        self.params: Dict[str, Any] = dict(params or {})
+        self.cookies: Dict[str, str] = dict(cookies or {})
+        self.files: Dict[str, Any] = dict(files or {})
+        #: The authenticated user, or None for anonymous requests.  Set by
+        #: the application's authentication step (or directly by tests).
+        self.user = user
+        self.remote_addr = remote_addr
+
+    def param(self, name: str, default: Any = None) -> Any:
+        return self.params.get(name, default)
+
+    def require(self, name: str) -> Any:
+        if name not in self.params:
+            from ..core.exceptions import HTTPError
+            raise HTTPError(400, f"missing parameter {name!r}")
+        return self.params[name]
+
+    def mark_params(self, policy) -> None:
+        """Attach ``policy`` to every string parameter and uploaded file."""
+        from ..core.api import policy_add
+        for key, value in list(self.params.items()):
+            if isinstance(value, str):
+                self.params[key] = policy_add(TaintedStr(value), policy)
+        for key, value in list(self.files.items()):
+            if isinstance(value, (str, bytes)):
+                self.files[key] = policy_add(value, policy)
+
+    def __repr__(self) -> str:
+        return f"Request({self.method} {self.path!r} user={self.user!r})"

@@ -1,0 +1,56 @@
+"""Server-side sessions.
+
+A tiny session store keyed by session id; enough for the applications to
+remember logged-in users and per-session state (e.g. HotCRP's e-mail preview
+mode is a site-wide option, but MoinMoin and phpBB track the authenticated
+user through a session cookie).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional
+
+
+class Session(dict):
+    """One user's session data."""
+
+    def __init__(self, sid: str):
+        super().__init__()
+        self.sid = sid
+
+    @property
+    def user(self) -> Optional[str]:
+        return self.get("user")
+
+    @user.setter
+    def user(self, value: Optional[str]) -> None:
+        self["user"] = value
+
+
+class SessionStore:
+    """In-memory session store."""
+
+    def __init__(self):
+        self._sessions: Dict[str, Session] = {}
+        self._counter = itertools.count(1)
+
+    def create(self, user: Optional[str] = None, **data: Any) -> Session:
+        sid = f"sess-{next(self._counter):06d}"
+        session = Session(sid)
+        if user is not None:
+            session.user = user
+        session.update(data)
+        self._sessions[sid] = session
+        return session
+
+    def get(self, sid: Optional[str]) -> Optional[Session]:
+        if sid is None:
+            return None
+        return self._sessions.get(sid)
+
+    def destroy(self, sid: str) -> None:
+        self._sessions.pop(sid, None)
+
+    def __len__(self) -> int:
+        return len(self._sessions)

@@ -1,0 +1,21 @@
+"""Shared test fixtures."""
+
+import pytest
+
+from repro.core.runtime import reset_default_filters
+from repro.environment import Environment
+
+
+@pytest.fixture(autouse=True)
+def _reset_global_default_filters():
+    """Some assertions (script injection) replace process-wide default
+    filters; make sure every test starts and ends with the built-in ones."""
+    reset_default_filters()
+    yield
+    reset_default_filters()
+
+
+@pytest.fixture
+def env():
+    """A fresh RESIN environment."""
+    return Environment()

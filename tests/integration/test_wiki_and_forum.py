@@ -1,0 +1,161 @@
+"""Integration tests: MoinMoin wiki and phpBB forum scenarios."""
+
+import pytest
+
+from repro.apps.moinmoin import MoinMoin
+from repro.apps.phpbb import PhpBB
+from repro.channels.socketchan import SocketChannel
+from repro.core.exceptions import AccessDenied, InjectionViolation, PolicyViolation
+from repro.environment import Environment
+from repro.security.assertions import mark_untrusted
+
+
+@pytest.fixture
+def wiki():
+    wiki = MoinMoin(Environment(), use_resin=True)
+    wiki.update_body("SecretPlans", "#acl alice:read,write\nthe secret plans",
+                     "alice")
+    wiki.update_body("PublicPage", "#acl All:read Known:read,write\nwelcome",
+                     "bob")
+    return wiki
+
+
+class TestMoinMoinReadACL:
+    def test_authorized_read(self, wiki):
+        assert "secret plans" in wiki.view_page("SecretPlans", "alice").body()
+
+    def test_unauthorized_read_blocked_by_app_check(self, wiki):
+        with pytest.raises(AccessDenied):
+            wiki.view_page("SecretPlans", "mallory")
+
+    def test_public_page_readable_by_anonymous(self, wiki):
+        assert "welcome" in wiki.view_page("PublicPage", None).body()
+
+    def test_include_directive_bug_blocked(self, wiki):
+        wiki.update_body("MalloryPage", "{{include:SecretPlans}}", "mallory")
+        with pytest.raises(AccessDenied):
+            wiki.view_page("MalloryPage", "mallory")
+
+    def test_include_of_readable_page_is_fine(self, wiki):
+        wiki.update_body("Index", "see {{include:PublicPage}}", "carol")
+        assert "welcome" in wiki.view_page("Index", "carol").body()
+
+    def test_raw_action_bug_blocked(self, wiki):
+        with pytest.raises(AccessDenied):
+            wiki.raw_action("SecretPlans", "mallory")
+        assert "secret plans" in wiki.raw_action("SecretPlans",
+                                                 "alice").body()
+
+    def test_policy_survives_filesystem_roundtrip(self, wiki):
+        from repro.policies import PagePolicy
+        body = wiki.env.fs.read_text("/wiki/pages/SecretPlans/00000001")
+        assert body.policies().has_type(PagePolicy)
+
+    def test_missing_page_404(self, wiki):
+        from repro.core.exceptions import HTTPError
+        with pytest.raises(HTTPError):
+            wiki.view_page("NoSuchPage", "alice")
+
+    def test_acl_defaults_when_no_header(self, wiki):
+        wiki.update_body("NoAcl", "open content", "dave")
+        assert "open content" in wiki.view_page("NoAcl", None).body()
+
+
+class TestMoinMoinWriteACL:
+    def test_unauthorized_overwrite_blocked(self, wiki):
+        with pytest.raises(AccessDenied):
+            wiki.overwrite_revision("SecretPlans", 1, "defaced", "mallory")
+
+    def test_owner_can_overwrite(self, wiki):
+        wiki.overwrite_revision("SecretPlans", 1,
+                                "#acl alice:read,write\nfixed typo", "alice")
+        assert "fixed typo" in str(
+            wiki.env.fs.read_text("/wiki/pages/SecretPlans/00000001"))
+
+    def test_app_level_edit_check(self, wiki):
+        with pytest.raises(AccessDenied):
+            wiki.update_body("SecretPlans", "new content", "mallory")
+        assert wiki.update_body("PublicPage", "#acl All:read\nv2", "bob") == 2
+
+    def test_unprotected_wiki_can_be_defaced(self):
+        wiki = MoinMoin(Environment(), use_resin=False,
+                        use_write_assertion=False)
+        wiki.update_body("Page", "#acl alice:read,write\noriginal", "alice")
+        wiki.overwrite_revision("Page", 1, "defaced", "mallory")
+        assert "defaced" in str(
+            wiki.env.fs.read_text("/wiki/pages/Page/00000001"))
+
+
+@pytest.fixture
+def board():
+    board = PhpBB(Environment(), use_read_assertion=True,
+                  use_xss_assertion=True)
+    board.create_forum(1, "public")
+    board.create_forum(2, "staff", allowed_users=["admin"])
+    board.post_message(10, 2, "admin", "salaries", "the salaries are secret")
+    board.post_message(11, 1, "admin", "welcome", "hello world")
+    return board
+
+
+class TestPhpBBReadAccess:
+    def test_member_reads_allowed_forum(self, board):
+        assert "secret" in board.view_message(10, "admin").body()
+        assert "hello world" in board.view_message(11, "guest").body()
+
+    def test_main_view_checks_permissions(self, board):
+        with pytest.raises(AccessDenied):
+            board.view_message(10, "mallory")
+
+    @pytest.mark.parametrize("path", ["printable_view", "reply_form"])
+    def test_buggy_views_blocked_by_policy(self, board, path):
+        with pytest.raises(AccessDenied):
+            getattr(board, path)(10, "mallory")
+
+    def test_rss_and_search_blocked(self, board):
+        with pytest.raises(AccessDenied):
+            board.rss_feed("mallory")
+        with pytest.raises(AccessDenied):
+            board.search_excerpts("salaries", "mallory")
+
+    def test_rss_allowed_for_staff(self, board):
+        assert "secret" in board.rss_feed("admin").body()
+
+    def test_message_policy_survives_database(self, board):
+        from repro.apps.phpbb import ForumMessagePolicy
+        from repro.core.api import policy_get
+        row = board._message(10)
+        assert policy_get(row["body"]).has_type(ForumMessagePolicy)
+
+
+class TestPhpBBXSS:
+    PAYLOAD = "<script>alert(1)</script>"
+
+    def test_preview_and_search_blocked(self, board):
+        payload = mark_untrusted(self.PAYLOAD, "http-param")
+        with pytest.raises(InjectionViolation):
+            board.post_preview(payload, "body", "viewer")
+        with pytest.raises(InjectionViolation):
+            board.highlight_search(payload, "viewer")
+
+    def test_signature_xss_blocked_after_db_roundtrip(self, board):
+        board.set_signature("eve", self.PAYLOAD)
+        with pytest.raises(InjectionViolation):
+            board.profile_page("eve", "viewer")
+
+    def test_whois_path_blocked(self, board):
+        server = SocketChannel("whois.example.net")
+        server.feed(self.PAYLOAD + "\nRegistrant: Example")
+        with pytest.raises(InjectionViolation):
+            board.whois_page("example.com", server, "viewer")
+
+    def test_escaped_output_is_allowed(self, board):
+        body = board.view_message(11, "viewer").body()
+        assert "hello world" in body
+
+    def test_unprotected_board_leaks(self):
+        board = PhpBB(Environment(), use_read_assertion=False,
+                      use_xss_assertion=False)
+        board.create_forum(1, "public")
+        board.post_message(1, 1, "admin", "hi", "body")
+        response = board.post_preview(self.PAYLOAD, "body", "viewer")
+        assert self.PAYLOAD in response.body()

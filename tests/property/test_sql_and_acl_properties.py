@@ -1,0 +1,112 @@
+"""Property-based tests for the SQL substrate and the ACL structure."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.channels.sqlchan import Database
+from repro.core.api import policy_get
+from repro.policies import ACL, UntrustedData
+from repro.sql.engine import Engine
+from repro.sql.parser import parse
+from repro.tracking.propagation import concat
+from repro.tracking.tainted_str import taint_str
+from repro.web.sanitize import sql_quote
+
+U = UntrustedData("prop")
+
+from repro.sql.tokenizer import KEYWORDS
+
+identifiers = st.text(alphabet=string.ascii_lowercase, min_size=1,
+                      max_size=8).filter(lambda s: s not in KEYWORDS)
+cell_values = st.text(alphabet=string.ascii_letters + " '%_-", max_size=20)
+
+
+class TestSQLRoundTrips:
+    @given(value=cell_values)
+    @settings(max_examples=60)
+    def test_quoted_literal_roundtrips_through_parser(self, value):
+        stmt = parse(concat("SELECT * FROM t WHERE c = '", sql_quote(value),
+                            "'"))
+        literal = stmt.where.right
+        assert str(literal.value) == value
+
+    @given(value=cell_values)
+    @settings(max_examples=40)
+    def test_quoted_insert_select_roundtrip(self, value):
+        db = Database(Engine())
+        db.execute_unchecked("CREATE TABLE t (v TEXT)")
+        db.query(concat("INSERT INTO t (v) VALUES ('", sql_quote(value),
+                        "')"))
+        stored = db.query("SELECT v FROM t").rows[0]["v"]
+        assert str(stored) == value
+
+    @given(value=cell_values)
+    @settings(max_examples=40)
+    def test_tainted_cell_policy_survives_roundtrip(self, value):
+        db = Database(Engine())
+        db.execute_unchecked("CREATE TABLE t (v TEXT)")
+        db.query(concat("INSERT INTO t (v) VALUES ('",
+                        sql_quote(taint_str(value, U)), "')"))
+        stored = db.query("SELECT v FROM t").rows[0]["v"]
+        if value:
+            assert policy_get(stored).has_type(UntrustedData)
+
+    @given(values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=10))
+    @settings(max_examples=40)
+    def test_where_filters_match_python_semantics(self, values):
+        engine = Engine()
+        engine.execute("CREATE TABLE n (v INTEGER)")
+        for value in values:
+            engine.execute(f"INSERT INTO n (v) VALUES ({value})")
+        result = engine.execute("SELECT v FROM n WHERE v >= 0")
+        assert sorted(r["v"] for r in result) == sorted(
+            v for v in values if v >= 0)
+        count = engine.execute("SELECT COUNT(*) AS c FROM n WHERE v < 0")
+        assert count.scalar() == sum(1 for v in values if v < 0)
+
+    @given(name=identifiers, columns=st.lists(identifiers, min_size=1,
+                                              max_size=5, unique=True))
+    @settings(max_examples=40)
+    def test_create_insert_select_star(self, name, columns):
+        engine = Engine()
+        engine.execute(f"CREATE TABLE {name} ("
+                       + ", ".join(f"{c} TEXT" for c in columns) + ")")
+        engine.execute(
+            f"INSERT INTO {name} ({', '.join(columns)}) VALUES ("
+            + ", ".join(f"'{c}-value'" for c in columns) + ")")
+        result = engine.execute(f"SELECT * FROM {name}")
+        assert result.columns == columns
+        assert [str(v) for v in result.rows[0].values_list()] == \
+            [f"{c}-value" for c in columns]
+
+
+class TestACLProperties:
+    rights = st.sampled_from(["read", "write", "admin"])
+    users = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+
+    @given(user=users, right=rights)
+    def test_grant_then_may(self, user, right):
+        assert ACL({}).grant(user, right).may(user, right)
+
+    @given(user=users, right=rights)
+    def test_revoke_removes_right(self, user, right):
+        acl = ACL({}).grant(user, right).revoke(user, right)
+        assert not acl.may(user, right)
+
+    @given(entries=st.dictionaries(users, st.sets(rights, max_size=3),
+                                   max_size=4))
+    def test_dict_roundtrip(self, entries):
+        acl = ACL(entries)
+        assert ACL.from_dict(acl.to_dict()) == acl
+
+    @given(user=users, right=rights)
+    def test_all_wildcard_grants_everyone(self, user, right):
+        assert ACL({"All": (right,)}).may(user, right)
+        assert ACL({"All": (right,)}).may(None, right)
+
+    @given(user=users, right=rights)
+    def test_known_excludes_anonymous(self, user, right):
+        acl = ACL({"Known": (right,)})
+        assert acl.may(user, right)
+        assert not acl.may(None, right)

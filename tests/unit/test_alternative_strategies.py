@@ -1,0 +1,115 @@
+"""Unit tests for the alternative injection-defence strategies of
+Sections 5.3 and 5.4: the auto-sanitizing SQL filter, the structure-checking
+HTML filter, and the JSON output guard."""
+
+import pytest
+
+from repro.channels.sqlchan import Database
+from repro.core.exceptions import InjectionViolation
+from repro.policies import UntrustedData
+from repro.security.assertions import (AutoSanitizingSQLFilter,
+                                       HTMLStructureGuardFilter,
+                                       JSONGuardFilter, mark_untrusted)
+from repro.sql.engine import Engine
+from repro.tracking.propagation import concat
+from repro.tracking.tainted_str import TaintedStr
+from repro.web.sanitize import html_escape, json_encode
+
+
+@pytest.fixture
+def db():
+    db = Database(Engine())
+    db.execute_unchecked("CREATE TABLE users (name TEXT, role TEXT)")
+    db.query("INSERT INTO users (name, role) VALUES ('alice', 'admin')")
+    db.query("INSERT INTO users (name, role) VALUES ('bob', 'user')")
+    return db
+
+
+class TestAutoSanitizingSQLFilter:
+    def test_injection_neutralized_instead_of_rejected(self, db):
+        db.add_filter(AutoSanitizingSQLFilter())
+        evil = mark_untrusted("x' OR '1'='1")
+        result = db.query(concat(
+            "SELECT name FROM users WHERE name = '", evil, "'"))
+        # The query executes, but the injected OR no longer changes the
+        # command structure: no rows match the literal payload.
+        assert len(result.rows) == 0
+
+    def test_untrusted_bare_value_becomes_literal(self, db):
+        db.add_filter(AutoSanitizingSQLFilter())
+        evil = mark_untrusted("'1'='1' OR role = 'admin'")
+        result = db.query(concat(
+            "SELECT name FROM users WHERE role = ", evil))
+        assert len(result.rows) == 0
+
+    def test_trusted_queries_unchanged(self, db):
+        db.add_filter(AutoSanitizingSQLFilter())
+        result = db.query("SELECT name FROM users WHERE role = 'admin'")
+        assert [str(r["name"]) for r in result] == ["alice"]
+
+    def test_untrusted_data_inside_string_literal_left_alone(self, db):
+        db.add_filter(AutoSanitizingSQLFilter())
+        needle = mark_untrusted("alice")
+        result = db.query(concat(
+            "SELECT role FROM users WHERE name = '", needle, "'"))
+        assert [str(r["role"]) for r in result] == ["admin"]
+
+    def test_plain_str_query_passthrough(self, db):
+        flt = AutoSanitizingSQLFilter()
+        assert flt.filter_func(lambda q: q, ("SELECT 1",), {}) == "SELECT 1"
+
+
+class TestHTMLStructureGuardFilter:
+    def test_untrusted_tag_blocked(self):
+        guard = HTMLStructureGuardFilter()
+        payload = mark_untrusted("<script>alert(1)</script>")
+        with pytest.raises(InjectionViolation):
+            guard.filter_write(concat("<div>", payload, "</div>"))
+
+    def test_untrusted_attribute_injection_blocked(self):
+        guard = HTMLStructureGuardFilter()
+        payload = mark_untrusted('" onmouseover="steal()')
+        with pytest.raises(InjectionViolation):
+            guard.filter_write(concat('<a href="', payload, '">link</a>'))
+
+    def test_untrusted_inside_script_element_blocked(self):
+        guard = HTMLStructureGuardFilter()
+        payload = mark_untrusted("1; steal()")
+        with pytest.raises(InjectionViolation):
+            guard.filter_write(concat("<script>var x = ", payload,
+                                      ";</script>"))
+
+    def test_untrusted_text_content_allowed(self):
+        guard = HTMLStructureGuardFilter()
+        comment = mark_untrusted("I liked this paper a lot")
+        page = guard.filter_write(concat("<p>", comment, "</p>"))
+        assert "liked" in str(page)
+
+    def test_escaped_payload_allowed(self):
+        guard = HTMLStructureGuardFilter()
+        payload = mark_untrusted("<script>alert(1)</script>")
+        guard.filter_write(concat("<p>", html_escape(payload), "</p>"))
+
+    def test_trusted_markup_allowed(self):
+        guard = HTMLStructureGuardFilter()
+        guard.filter_write(TaintedStr("<script>trusted()</script>"))
+        assert guard.filter_write("plain text") == "plain text"
+
+
+class TestJSONGuardFilter:
+    def test_raw_untrusted_value_blocked(self):
+        guard = JSONGuardFilter()
+        payload = mark_untrusted('", "admin": true, "x": "')
+        with pytest.raises(InjectionViolation):
+            guard.filter_write(concat('{"comment": "', payload, '"}'))
+
+    def test_encoded_value_allowed(self):
+        guard = JSONGuardFilter()
+        payload = mark_untrusted('", "admin": true, "x": "')
+        body = guard.filter_write(concat('{"comment": ',
+                                         json_encode(payload), "}"))
+        assert str(body).startswith('{"comment": ')
+
+    def test_plain_json_allowed(self):
+        guard = JSONGuardFilter()
+        assert guard.filter_write('{"ok": 1}') == '{"ok": 1}'

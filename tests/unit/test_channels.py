@@ -1,0 +1,267 @@
+"""Unit tests for the I/O channels and the SQL policy-persistence channel."""
+
+import pytest
+
+from repro.channels import (CodeChannel, Database, EmailChannel,
+                            HTTPOutputChannel, MailTransport, PipeChannel,
+                            SocketChannel, is_policy_column, policy_column)
+from repro.channels.sqlchan import (apply_cell_policies,
+                                    serialize_cell_policies)
+from repro.core.exceptions import (ChannelError, DisclosureViolation,
+                                   PolicyViolation)
+from repro.core.filter import Filter
+from repro.core.policyset import PolicySet
+from repro.core.api import policy_add, policy_get
+from repro.policies import PasswordPolicy, UntrustedData
+from repro.security.assertions import UntrustedInputFilter
+from repro.sql.engine import Engine
+from repro.tracking.propagation import concat
+from repro.tracking.tainted_number import taint_int
+from repro.tracking.tainted_str import taint_str
+
+U = UntrustedData("test")
+PW = PasswordPolicy("owner@example.org")
+
+
+class TestCollectingChannels:
+    def test_socket_write_records_transmission(self):
+        sock = SocketChannel("peer.example.org")
+        sock.write("hello")
+        assert sock.transcript() == "hello"
+        assert sock.context["peer"] == "peer.example.org"
+
+    def test_socket_export_check_blocks_secret(self):
+        sock = SocketChannel()
+        with pytest.raises(DisclosureViolation):
+            sock.write(policy_add("pw", PW))
+        assert sock.transcript() == ""
+
+    def test_socket_read_feeds_through_filters(self):
+        sock = SocketChannel()
+        sock.add_filter(UntrustedInputFilter("whois"))
+        sock.feed("malicious record")
+        data = sock.read()
+        assert policy_get(data).has_type(UntrustedData)
+
+    def test_read_empty_channel(self):
+        assert SocketChannel().read() == ""
+
+    def test_closed_channel_rejects_io(self):
+        sock = SocketChannel()
+        sock.close()
+        with pytest.raises(ChannelError):
+            sock.write("x")
+        with pytest.raises(ChannelError):
+            sock.read()
+
+    def test_pipe_channel_context(self):
+        pipe = PipeChannel("sendmail -t")
+        assert pipe.context["command"] == "sendmail -t"
+        pipe.write("body")
+        assert pipe.transcript() == "body"
+
+    def test_transcript_decodes_bytes(self):
+        sock = SocketChannel()
+        sock.write(b"raw bytes")
+        assert sock.transcript() == "raw bytes"
+
+
+class TestHTTPOutputChannel:
+    def test_write_and_body(self):
+        channel = HTTPOutputChannel()
+        channel.write("<p>hi</p>")
+        assert channel.body() == "<p>hi</p>"
+        assert "<p>hi</p>" in channel
+
+    def test_set_user_updates_context(self):
+        channel = HTTPOutputChannel()
+        channel.set_user("alice", priv_chair=True)
+        assert channel.context["user"] == "alice"
+        assert channel.context["priv_chair"] is True
+
+    def test_password_blocked_for_other_user(self):
+        channel = HTTPOutputChannel()
+        channel.set_user("mallory")
+        with pytest.raises(DisclosureViolation):
+            channel.write(policy_add("pw", PW))
+        assert channel.body() == ""
+
+    def test_password_allowed_for_chair(self):
+        channel = HTTPOutputChannel()
+        channel.set_user("chair", priv_chair=True)
+        channel.write(policy_add("pw", PW))
+        assert "pw" in channel.body()
+
+    def test_buffering_discard_substitutes_alternate(self):
+        channel = HTTPOutputChannel()
+        channel.write("before ")
+        channel.start_buffering()
+        channel.write("secret-authors")
+        channel.discard_buffer("Anonymous")
+        channel.write(" after")
+        assert channel.body() == "before Anonymous after"
+
+    def test_buffering_release(self):
+        channel = HTTPOutputChannel()
+        channel.start_buffering()
+        channel.write("kept")
+        channel.release_buffer()
+        assert channel.body() == "kept"
+
+    def test_violation_raised_before_buffering(self):
+        channel = HTTPOutputChannel()
+        channel.set_user("mallory")
+        channel.start_buffering()
+        with pytest.raises(PolicyViolation):
+            channel.write(policy_add("pw", PW))
+        channel.discard_buffer("fallback")
+        assert channel.body() == "fallback"
+
+    def test_headers_flow_through_filters(self):
+        from repro.security.assertions import ResponseSplittingFilter
+        channel = HTTPOutputChannel()
+        channel.add_filter(ResponseSplittingFilter())
+        channel.add_header("X-Plain", "ok")
+        assert ("X-Plain", "ok") in channel.headers
+        from repro.security.assertions import mark_untrusted
+        with pytest.raises(PolicyViolation):
+            channel.add_header("Location",
+                               mark_untrusted("x\r\n\r\nHTTP/1.1 200 OK"))
+
+    def test_status(self):
+        channel = HTTPOutputChannel()
+        channel.set_status(404)
+        assert channel.status == 404
+
+
+class TestMailTransport:
+    def test_send_to_owner_allowed(self):
+        mail = MailTransport()
+        body = concat("your password: ", policy_add("pw", PW))
+        message = mail.send("owner@example.org", "reminder", body)
+        assert message.to == "owner@example.org"
+        assert mail.sent_to("owner@example.org")
+
+    def test_send_to_other_recipient_blocked(self):
+        mail = MailTransport()
+        body = concat("your password: ", policy_add("pw", PW))
+        with pytest.raises(DisclosureViolation):
+            mail.send("eve@example.org", "fwd", body)
+        assert not mail.outbox
+
+    def test_plain_mail(self):
+        mail = MailTransport(default_sender="site@example.org")
+        message = mail.send("anyone@example.org", "hello", "plain body")
+        assert message.sender == "site@example.org"
+        assert "hello" in repr(message)
+        mail.clear()
+        assert not mail.outbox
+
+    def test_email_channel_context(self):
+        channel = EmailChannel("user@example.org")
+        assert channel.context["email"] == "user@example.org"
+
+
+class TestCodeChannel:
+    def test_default_filter_allows_plain_code(self):
+        channel = CodeChannel()
+        assert channel.load("print('hi')") == "print('hi')"
+
+    def test_origin_recorded(self):
+        channel = CodeChannel()
+        channel.load("x = 1", origin="/www/app.php")
+        assert channel.context["origin"] == "/www/app.php"
+
+    def test_channel_is_read_only(self):
+        with pytest.raises(NotImplementedError):
+            CodeChannel().write("code")
+
+
+class TestDatabaseChannel:
+    @pytest.fixture
+    def db(self):
+        db = Database(Engine(), persist_policies=True)
+        db.execute_unchecked("CREATE TABLE t (name TEXT, secret TEXT, n INTEGER)")
+        return db
+
+    def test_policy_columns_added_to_schema(self, db):
+        table = db.engine.tables["t"]
+        assert policy_column("secret") in table.column_names
+        assert is_policy_column(policy_column("secret"))
+
+    def test_cell_policies_roundtrip(self, db):
+        secret = policy_add("hunter2", PW)
+        db.query(concat("INSERT INTO t (name, secret, n) VALUES ('alice', '",
+                        secret, "', 3)"))
+        row = db.query("SELECT name, secret, n FROM t").rows[0]
+        assert policy_get(row["secret"]).has_type(PasswordPolicy)
+        assert policy_get(row["name"]) == PolicySet.empty()
+
+    def test_select_star_reattaches_policies(self, db):
+        db.query(concat("INSERT INTO t (name, secret, n) VALUES ('a', '",
+                        policy_add("s", U), "', 1)"))
+        row = db.query("SELECT * FROM t").rows[0]
+        assert policy_get(row["secret"]) == PolicySet.of(U)
+        assert not any(is_policy_column(c) for c in
+                       db.query("SELECT * FROM t").columns)
+
+    def test_partial_taint_survives_roundtrip(self, db):
+        value = "id=" + taint_str("42", U)
+        db.query(concat("INSERT INTO t (name, secret, n) VALUES ('a', '",
+                        value, "', 1)"))
+        stored = db.query("SELECT secret FROM t").rows[0]["secret"]
+        assert stored.policies_at(0) == PolicySet.empty()
+        assert stored.policies_at(3) == PolicySet.of(U)
+
+    def test_update_refreshes_policies(self, db):
+        db.query("INSERT INTO t (name, secret, n) VALUES ('a', 'old', 1)")
+        db.query(concat("UPDATE t SET secret = '", policy_add("new", U),
+                        "' WHERE name = 'a'"))
+        stored = db.query("SELECT secret FROM t").rows[0]["secret"]
+        assert policy_get(stored) == PolicySet.of(U)
+        db.query("UPDATE t SET secret = 'plain' WHERE name = 'a'")
+        stored = db.query("SELECT secret FROM t").rows[0]["secret"]
+        assert policy_get(stored) == PolicySet.empty()
+
+    def test_delete_and_aggregate_pass_through(self, db):
+        db.query("INSERT INTO t (name, secret, n) VALUES ('a', 'x', 1)")
+        assert db.query("SELECT COUNT(*) AS c FROM t").scalar() == 1
+        assert db.query("DELETE FROM t").rowcount == 1
+
+    def test_custom_filter_sees_query(self, db):
+        seen = []
+
+        class Spy(Filter):
+            def filter_func(self, func, args, kwargs):
+                seen.append(str(args[0]))
+                return func(*args, **kwargs)
+
+        db.add_filter(Spy())
+        db.query("SELECT name FROM t")
+        assert seen and seen[0].startswith("SELECT name")
+
+    def test_persistence_disabled(self):
+        db = Database(Engine(), persist_policies=False)
+        db.execute_unchecked("CREATE TABLE p (v TEXT)")
+        assert policy_column("v") not in db.engine.tables["p"].column_names
+        db.query(concat("INSERT INTO p (v) VALUES ('", policy_add("s", U),
+                        "')"))
+        row = db.query("SELECT v FROM p").rows[0]
+        assert policy_get(row["v"]) == PolicySet.empty()
+
+    def test_default_filter_checks_query_policies(self, db):
+        # A password embedded in a query is flowing to the SQL channel, which
+        # is an internal boundary: the policy allows it (persistence filters
+        # serialize rather than reject).
+        secret = policy_add("pw", PW)
+        db.query(concat("INSERT INTO t (name, secret, n) VALUES ('o', '",
+                        secret, "', 1)"))
+
+    def test_serialize_apply_cell_policies_helpers(self):
+        assert serialize_cell_policies("plain") is None
+        blob = serialize_cell_policies(taint_str("x", U))
+        assert policy_get(apply_cell_policies("x", blob)) == PolicySet.of(U)
+        number_blob = serialize_cell_policies(taint_int(3, U))
+        assert policy_get(apply_cell_policies(3, number_blob)) == PolicySet.of(U)
+        assert apply_cell_policies(None, blob) is None
+        assert apply_cell_policies("x", None) == "x"

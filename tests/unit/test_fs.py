@@ -1,0 +1,277 @@
+"""Unit tests for the filesystem substrate (paths, raw FS, ResinFS)."""
+
+import pytest
+
+from repro.core.exceptions import AccessDenied, FileSystemError
+from repro.core.policyset import PolicySet
+from repro.fs import path as fspath
+from repro.fs.filesystem import FileSystem
+from repro.fs.resinfs import FILTER_XATTR, POLICY_XATTR, ResinFS
+from repro.policies import ACL, PasswordPolicy, UntrustedData
+from repro.security.assertions import WriteAccessFilter
+from repro.tracking.tainted_str import taint_str
+
+U = UntrustedData("test")
+
+
+class TestPath:
+    def test_normalize_dots(self):
+        assert fspath.normalize("/a/./b/../c") == "/a/c"
+
+    def test_normalize_climbs_past_root(self):
+        assert fspath.normalize("/../../etc/passwd") == "/etc/passwd"
+
+    def test_normalize_collapses_slashes(self):
+        assert fspath.normalize("//a///b//") == "/a/b"
+
+    def test_join(self):
+        assert fspath.join("/home/alice", "docs", "a.txt") == \
+            "/home/alice/docs/a.txt"
+
+    def test_join_traversal_escapes(self):
+        assert fspath.join("/home/alice", "../bob/f") == "/home/bob/f"
+
+    def test_join_absolute_component_wins(self):
+        assert fspath.join("/home", "/etc/passwd") == "/etc/passwd"
+
+    def test_split_dirname_basename(self):
+        assert fspath.split("/a/b/c.txt") == ("/a/b", "c.txt")
+        assert fspath.dirname("/a/b") == "/a"
+        assert fspath.basename("/a/b") == "b"
+        assert fspath.split("/") == ("/", "")
+
+    def test_parts(self):
+        assert fspath.parts("/a/b") == ["a", "b"]
+        assert fspath.parts("/") == []
+
+    def test_is_inside(self):
+        assert fspath.is_inside("/home/alice/doc", "/home/alice")
+        assert fspath.is_inside("/home/alice", "/home/alice")
+        assert not fspath.is_inside("/home/alicex", "/home/alice")
+        assert not fspath.is_inside("/home/bob/doc", "/home/alice")
+        assert fspath.is_inside("/anything", "/")
+
+    def test_extension(self):
+        assert fspath.extension("/www/up/evil.PHP") == "php"
+        assert fspath.extension("/www/up/readme") == ""
+
+
+class TestRawFileSystem:
+    def test_mkdir_and_listdir(self):
+        fs = FileSystem()
+        fs.mkdir("/a/b", parents=True)
+        assert fs.isdir("/a/b")
+        assert fs.listdir("/a") == ["b"]
+
+    def test_mkdir_without_parents_fails(self):
+        with pytest.raises(FileSystemError):
+            FileSystem().mkdir("/a/b")
+
+    def test_mkdir_existing_dir_is_noop(self):
+        fs = FileSystem()
+        fs.mkdir("/a")
+        fs.mkdir("/a")
+
+    def test_mkdir_over_file_fails(self):
+        fs = FileSystem()
+        fs.create("/f")
+        with pytest.raises(FileSystemError):
+            fs.mkdir("/f")
+
+    def test_write_read_raw(self):
+        fs = FileSystem()
+        fs.write_raw("/f", b"hello")
+        assert fs.read_raw("/f") == b"hello"
+        fs.write_raw("/f", b" world", append=True)
+        assert fs.read_raw("/f") == b"hello world"
+
+    def test_read_missing_file(self):
+        with pytest.raises(FileSystemError):
+            FileSystem().read_raw("/missing")
+
+    def test_unlink(self):
+        fs = FileSystem()
+        fs.write_raw("/f", b"x")
+        fs.unlink("/f")
+        assert not fs.exists("/f")
+        with pytest.raises(FileSystemError):
+            fs.unlink("/f")
+
+    def test_unlink_nonempty_dir_fails(self):
+        fs = FileSystem()
+        fs.mkdir("/d")
+        fs.write_raw("/d/f", b"x")
+        with pytest.raises(FileSystemError):
+            fs.unlink("/d")
+
+    def test_rename(self):
+        fs = FileSystem()
+        fs.write_raw("/old", b"x")
+        fs.rename("/old", "/new")
+        assert fs.read_raw("/new") == b"x"
+        assert not fs.exists("/old")
+
+    def test_stat(self):
+        fs = FileSystem()
+        fs.write_raw("/f", b"abc")
+        stat = fs.stat("/f")
+        assert stat.kind == "file" and stat.size == 3
+
+    def test_walk(self):
+        fs = FileSystem()
+        fs.mkdir("/a/b", parents=True)
+        fs.write_raw("/a/f", b"x")
+        assert set(fs.walk("/a")) == {"/a", "/a/b", "/a/f"}
+
+    def test_xattrs(self):
+        fs = FileSystem()
+        fs.write_raw("/f", b"x")
+        fs.set_xattr("/f", "user.test", "value")
+        assert fs.get_xattr("/f", "user.test") == "value"
+        assert fs.list_xattrs("/f") == ["user.test"]
+        fs.remove_xattr("/f", "user.test")
+        assert fs.get_xattr("/f", "user.test") is None
+
+
+class TestResinFS:
+    def test_policy_persists_through_file(self):
+        fs = ResinFS()
+        fs.write_text("/secret.txt", taint_str("hunter2", U))
+        restored = fs.read_text("/secret.txt")
+        assert restored == "hunter2"
+        assert restored.policies() == PolicySet.of(U)
+        # and the policy really is serialized in the xattr, not cached
+        assert fs.raw.get_xattr("/secret.txt", POLICY_XATTR)
+
+    def test_partial_policy_ranges_persist(self):
+        fs = ResinFS()
+        fs.write_text("/f", "id=" + taint_str("42", U))
+        restored = fs.read_text("/f")
+        assert restored.policies_at(0) == PolicySet.empty()
+        assert restored.policies_at(3) == PolicySet.of(U)
+
+    def test_plain_data_has_no_policy_xattr(self):
+        fs = ResinFS()
+        fs.write_text("/f", "plain")
+        assert fs.raw.get_xattr("/f", POLICY_XATTR) is None
+        assert fs.read_text("/f").policies() == PolicySet.empty()
+
+    def test_append_preserves_existing_policies(self):
+        fs = ResinFS()
+        fs.write_text("/log", taint_str("secret", U))
+        fs.write_text("/log", " more", append=True)
+        restored = fs.read_text("/log")
+        assert restored == "secret more"
+        assert restored.policies_at(0) == PolicySet.of(U)
+        assert restored.policies_at(7) == PolicySet.empty()
+
+    def test_external_modification_spreads_policies(self):
+        fs = ResinFS()
+        fs.write_text("/f", taint_str("ab", U))
+        fs.raw.write_raw("/f", b"abcdef")   # modified behind RESIN's back
+        assert fs.read_text("/f").policies() == PolicySet.of(U)
+
+    def test_file_policies_helper(self):
+        fs = ResinFS()
+        fs.write_text("/f", taint_str("pw", PasswordPolicy("a@b.c")))
+        assert fs.file_policies("/f").has_type(PasswordPolicy)
+
+    def test_add_file_policy(self):
+        fs = ResinFS()
+        fs.write_text("/code.py", "print('hi')")
+        fs.add_file_policy("/code.py", U)
+        assert fs.read_text("/code.py").has_policy_type(UntrustedData,
+                                                        every_char=True)
+
+    def test_open_read_write_handles(self):
+        fs = ResinFS()
+        with fs.open("/f", "w") as handle:
+            handle.write(taint_str("abc", U))
+            handle.write("def")
+        with fs.open("/f", "r") as handle:
+            data = handle.read()
+        assert data == b"abcdef"
+        assert data.policies_at(0) == PolicySet.of(U)
+        assert data.policies_at(3) == PolicySet.empty()
+
+    def test_open_append(self):
+        fs = ResinFS()
+        fs.write_text("/f", "one")
+        with fs.open("/f", "a") as handle:
+            handle.write("two")
+        assert str(fs.read_text("/f")) == "onetwo"
+
+    def test_open_modes(self):
+        fs = ResinFS()
+        with pytest.raises(FileSystemError):
+            fs.open("/f", "rb")
+        fs.write_text("/f", "x")
+        handle = fs.open("/f", "r")
+        with pytest.raises(FileSystemError):
+            handle.write("y")
+        handle.close()
+        with pytest.raises(FileSystemError):
+            handle.read()
+
+    def test_read_sizes(self):
+        fs = ResinFS()
+        fs.write_text("/f", "abcdef")
+        handle = fs.open("/f", "r")
+        assert bytes(handle.read(2)) == b"ab"
+        assert bytes(handle.read()) == b"cdef"
+
+    def test_persistent_write_filter_blocks_unauthorized_user(self):
+        fs = ResinFS()
+        fs.mkdir("/pages")
+        fs.write_text("/pages/home", "content")
+        fs.set_persistent_filter(
+            "/pages/home", WriteAccessFilter(acl=ACL.parse("alice:write")))
+        fs.set_request_context(user="mallory")
+        with pytest.raises(AccessDenied):
+            fs.write_text("/pages/home", "defaced")
+        fs.set_request_context(user="alice")
+        fs.write_text("/pages/home", "updated")
+        assert str(fs.read_text("/pages/home")) == "updated"
+
+    def test_directory_filter_guards_subtree_mutations(self):
+        fs = ResinFS()
+        fs.mkdir("/data")
+        fs.set_persistent_filter(
+            "/data", WriteAccessFilter(
+                allowed=lambda user, op, path: user == "admin"))
+        fs.set_request_context(user="mallory")
+        with pytest.raises(AccessDenied):
+            fs.write_text("/data/sub/file", "x")
+        with pytest.raises(AccessDenied):
+            fs.mkdir("/data/sub")
+        fs.set_request_context(user="admin")
+        fs.mkdir("/data/sub")
+        fs.write_text("/data/sub/file", "x")
+        with pytest.raises(AccessDenied):
+            fs.set_request_context(user="mallory")
+            fs.unlink("/data/sub/file")
+
+    def test_persistent_filter_management(self):
+        fs = ResinFS()
+        fs.write_text("/f", "x")
+        with pytest.raises(FileSystemError):
+            fs.set_persistent_filter("/f", "not a filter")
+        flt = WriteAccessFilter(acl=ACL.allow_all(("write",)))
+        fs.set_persistent_filter("/f", flt)
+        assert fs.get_persistent_filter("/f") is flt
+        assert fs.raw.get_xattr("/f", FILTER_XATTR) is flt
+        fs.remove_persistent_filter("/f")
+        assert fs.get_persistent_filter("/f") is None
+
+    def test_namespace_passthrough_helpers(self):
+        fs = ResinFS()
+        fs.mkdir("/a/b", parents=True)
+        fs.write_text("/a/b/f", "x")
+        assert fs.exists("/a/b/f") and fs.isfile("/a/b/f") and fs.isdir("/a")
+        assert fs.listdir("/a") == ["b"]
+        assert fs.stat("/a/b/f").size == 1
+        assert "/a/b/f" in list(fs.walk("/a"))
+        fs.rename("/a/b/f", "/a/b/g")
+        assert fs.exists("/a/b/g")
+        fs.unlink("/a/b/g")
+        assert not fs.exists("/a/b/g")

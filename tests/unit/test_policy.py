@@ -1,0 +1,110 @@
+"""Unit tests for Policy base-class behaviour."""
+
+import pytest
+
+from repro.core.exceptions import MergeError
+from repro.core.policy import Policy, is_policy, validate_policies
+from repro.core.policyset import PolicySet
+from repro.policies import (AuthenticData, PasswordPolicy, SQLSanitized,
+                            UntrustedData)
+
+
+class Empty(Policy):
+    pass
+
+
+class WithFields(Policy):
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+
+class Rejecting(Policy):
+    merge_strategy = "reject"
+
+
+class TestValueSemantics:
+    def test_equal_policies_same_fields(self):
+        assert WithFields(1, "x") == WithFields(1, "x")
+
+    def test_unequal_policies_different_fields(self):
+        assert WithFields(1, "x") != WithFields(2, "x")
+
+    def test_different_classes_never_equal(self):
+        assert Empty() != UntrustedData()
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(WithFields(1, "x")) == hash(WithFields(1, "x"))
+
+    def test_private_fields_excluded_from_identity(self):
+        first = WithFields(1, "x")
+        first._cache = "something"
+        assert first == WithFields(1, "x")
+
+    def test_repr_shows_fields(self):
+        assert "a=1" in repr(WithFields(1, "x"))
+
+    def test_eq_against_non_policy(self):
+        assert WithFields(1, "x") != object()
+
+    def test_identity_with_container_fields(self):
+        assert WithFields([1, 2], {"k": "v"}) == WithFields([1, 2], {"k": "v"})
+        assert WithFields({1, 2}, None) == WithFields({2, 1}, None)
+
+
+class TestBaseBehaviour:
+    def test_export_check_allows_by_default(self):
+        Empty().export_check({"type": "http"})
+
+    def test_is_policy(self):
+        assert is_policy(Empty())
+        assert not is_policy("not a policy")
+
+    def test_validate_policies_rejects_non_policies(self):
+        with pytest.raises(TypeError):
+            validate_policies([Empty(), "oops"])
+
+    def test_validate_policies_returns_set(self):
+        result = validate_policies([Empty(), Empty()])
+        assert result == {Empty()}
+
+
+class TestMergeStrategies:
+    def test_union_merge_keeps_policy(self):
+        policy = UntrustedData("src")
+        assert list(policy.merge(PolicySet.empty())) == [policy]
+
+    def test_intersect_merge_drops_without_peer(self):
+        policy = AuthenticData("ca")
+        assert list(policy.merge(PolicySet.empty())) == []
+
+    def test_intersect_merge_keeps_with_peer(self):
+        policy = AuthenticData("ca")
+        other = PolicySet.of(AuthenticData("other-ca"))
+        assert list(policy.merge(other)) == [policy]
+
+    def test_intersect_requires_same_class(self):
+        policy = SQLSanitized()
+        other = PolicySet.of(AuthenticData("ca"))
+        assert list(policy.merge(other)) == []
+
+    def test_reject_merge_raises(self):
+        with pytest.raises(MergeError):
+            Rejecting().merge(PolicySet.empty())
+
+    def test_unknown_strategy_raises(self):
+        class Weird(Policy):
+            merge_strategy = "sometimes"
+
+        with pytest.raises(MergeError):
+            Weird().merge(PolicySet.empty())
+
+
+class TestSerializableFields:
+    def test_fields_sorted_and_public_only(self):
+        policy = PasswordPolicy("a@b.c")
+        policy._secret_cache = 42
+        fields = policy.serializable_fields()
+        assert list(fields) == sorted(fields)
+        assert "_secret_cache" not in fields
+        assert fields["email"] == "a@b.c"

@@ -1,0 +1,111 @@
+"""Unit tests for PolicySet."""
+
+import pytest
+
+from repro.core.policyset import PolicySet, as_policyset
+from repro.policies import (AuthenticData, HTMLSanitized, PasswordPolicy,
+                            SQLSanitized, UntrustedData)
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert len(PolicySet.empty()) == 0
+        assert not PolicySet.empty()
+
+    def test_of(self):
+        pset = PolicySet.of(UntrustedData(), SQLSanitized())
+        assert len(pset) == 2
+
+    def test_duplicates_collapse(self):
+        pset = PolicySet.of(UntrustedData("a"), UntrustedData("a"))
+        assert len(pset) == 1
+
+    def test_rejects_non_policy(self):
+        with pytest.raises(TypeError):
+            PolicySet(["nope"])
+
+    def test_as_policyset_from_none(self):
+        assert as_policyset(None) == PolicySet.empty()
+
+    def test_as_policyset_from_policy(self):
+        policy = UntrustedData()
+        assert as_policyset(policy) == PolicySet.of(policy)
+
+    def test_as_policyset_passthrough(self):
+        pset = PolicySet.of(UntrustedData())
+        assert as_policyset(pset) is pset
+
+
+class TestSetOperations:
+    def test_add_returns_new_set(self):
+        original = PolicySet.empty()
+        updated = original.add(UntrustedData())
+        assert len(original) == 0
+        assert len(updated) == 1
+
+    def test_add_existing_is_noop(self):
+        pset = PolicySet.of(UntrustedData("a"))
+        assert pset.add(UntrustedData("a")) is pset
+
+    def test_remove(self):
+        pset = PolicySet.of(UntrustedData("a"), SQLSanitized())
+        assert UntrustedData("a") not in pset.remove(UntrustedData("a"))
+
+    def test_remove_missing_is_noop(self):
+        pset = PolicySet.of(SQLSanitized())
+        assert pset.remove(UntrustedData()) is pset
+
+    def test_union(self):
+        combined = PolicySet.of(UntrustedData()).union(
+            PolicySet.of(SQLSanitized()))
+        assert len(combined) == 2
+
+    def test_intersection(self):
+        left = PolicySet.of(UntrustedData(), SQLSanitized())
+        right = PolicySet.of(SQLSanitized(), HTMLSanitized())
+        assert list(left.intersection(right)) == [SQLSanitized()]
+
+    def test_difference(self):
+        left = PolicySet.of(UntrustedData(), SQLSanitized())
+        assert list(left.difference([SQLSanitized()])) == [UntrustedData()]
+
+    def test_without_type(self):
+        pset = PolicySet.of(UntrustedData(), SQLSanitized(), HTMLSanitized())
+        stripped = pset.without_type(UntrustedData)
+        assert not stripped.has_type(UntrustedData)
+        assert stripped.has_type(SQLSanitized)
+
+    def test_of_type(self):
+        pset = PolicySet.of(UntrustedData("a"), UntrustedData("b"),
+                            SQLSanitized())
+        assert len(pset.of_type(UntrustedData)) == 2
+
+    def test_has_type_respects_subclasses(self):
+        pset = PolicySet.of(SQLSanitized())
+        from repro.policies.untrusted import SanitizedMarker
+        assert pset.has_type(SanitizedMarker)
+
+
+class TestContainerProtocol:
+    def test_contains(self):
+        assert UntrustedData("x") in PolicySet.of(UntrustedData("x"))
+
+    def test_iteration_order_stable(self):
+        pset = PolicySet.of(UntrustedData("b"), UntrustedData("a"))
+        assert [p.source for p in pset] == ["a", "b"]
+
+    def test_equality_with_plain_set(self):
+        assert PolicySet.of(UntrustedData("x")) == {UntrustedData("x")}
+
+    def test_hashable(self):
+        assert hash(PolicySet.of(UntrustedData("x"))) == hash(
+            PolicySet.of(UntrustedData("x")))
+
+    def test_repr(self):
+        assert "UntrustedData" in repr(PolicySet.of(UntrustedData()))
+
+    def test_unhashable_policy_fields_fall_back(self):
+        policy = PasswordPolicy("a@b.c")
+        policy.weird = ["unhashable", {}]
+        pset = PolicySet.of(policy)
+        assert policy in pset

@@ -1,0 +1,119 @@
+"""Unit tests for persistent-policy serialization."""
+
+import pytest
+
+from repro.core.exceptions import SerializationError
+from repro.core.policy import Policy
+from repro.core.policyset import PolicySet
+from repro.core.serialization import (deserialize_policy, dumps_policyset,
+                                      dumps_rangemap, find_policy_class,
+                                      loads_policyset, loads_rangemap,
+                                      register_policy_class, serialize_policy)
+from repro.policies import (ACL, CodeApproval, PagePolicy, PasswordPolicy,
+                            ReadAccessPolicy, UntrustedData)
+from repro.tracking.ranges import RangeMap
+from repro.tracking.tainted_str import taint_str
+
+
+class TestPolicyRoundTrip:
+    def test_simple_policy(self):
+        policy = PasswordPolicy("a@b.c", allow_chair=False)
+        restored = deserialize_policy(serialize_policy(policy))
+        assert restored == policy
+        assert restored.email == "a@b.c"
+        assert restored.allow_chair is False
+
+    def test_policy_with_frozenset_field(self):
+        policy = ReadAccessPolicy(["alice", "bob"], label="reviews")
+        restored = deserialize_policy(serialize_policy(policy))
+        assert set(restored.allowed_users) == {"alice", "bob"}
+
+    def test_page_policy_restores_acl(self):
+        policy = PagePolicy(ACL.parse("alice:read,write"), "FrontPage")
+        restored = deserialize_policy(serialize_policy(policy))
+        assert isinstance(restored.acl, ACL)
+        assert restored.acl.may("alice", "write")
+        assert not restored.acl.may("bob", "read")
+
+    def test_nested_policy_field(self):
+        class Wrapper(Policy):
+            def __init__(self, inner):
+                self.inner = inner
+
+        register_policy_class(Wrapper)
+        restored = deserialize_policy(
+            serialize_policy(Wrapper(UntrustedData("w"))))
+        assert restored.inner == UntrustedData("w")
+
+    def test_deserialize_does_not_call_init(self):
+        class Strict(Policy):
+            def __init__(self, mandatory):
+                self.mandatory = mandatory
+
+        register_policy_class(Strict)
+        record = serialize_policy(Strict("value"))
+        record["fields"].pop("mandatory")
+        restored = deserialize_policy(record)
+        assert not hasattr(restored, "mandatory")
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(SerializationError):
+            deserialize_policy({"class": "no.such.Class", "fields": {}})
+
+    def test_unserializable_field_raises(self):
+        class Bad(Policy):
+            def __init__(self):
+                self.handle = object()
+
+        with pytest.raises(SerializationError):
+            serialize_policy(Bad())
+
+    def test_malformed_record_raises(self):
+        with pytest.raises(SerializationError):
+            deserialize_policy({"fields": {}})
+
+
+class TestRegistry:
+    def test_find_by_qualified_name(self):
+        name = f"{CodeApproval.__module__}.{CodeApproval.__qualname__}"
+        assert find_policy_class(name) is CodeApproval
+
+    def test_find_by_short_name(self):
+        assert find_policy_class("CodeApproval") is CodeApproval
+
+    def test_register_rejects_non_policy(self):
+        with pytest.raises(TypeError):
+            register_policy_class(str)
+
+    def test_register_decorator_usage(self):
+        @register_policy_class
+        class Custom(Policy):
+            pass
+
+        assert find_policy_class(Custom.__qualname__) is Custom
+        assert find_policy_class(
+            f"{Custom.__module__}.{Custom.__qualname__}") is Custom
+
+
+class TestPolicySetAndRangeMap:
+    def test_policyset_json_roundtrip(self):
+        pset = PolicySet.of(UntrustedData("a"), PasswordPolicy("x@y.z"))
+        assert loads_policyset(dumps_policyset(pset)) == pset
+
+    def test_empty_policyset(self):
+        assert loads_policyset("") == PolicySet.empty()
+        assert loads_policyset(None) == PolicySet.empty()
+        assert loads_policyset(dumps_policyset(PolicySet.empty())) == \
+            PolicySet.empty()
+
+    def test_rangemap_json_roundtrip(self):
+        value = taint_str("ab", UntrustedData()) + "cd"
+        restored = loads_rangemap(dumps_rangemap(value.rangemap))
+        assert restored == value.rangemap
+
+    def test_rangemap_empty_text(self):
+        assert loads_rangemap(None, 5) == RangeMap.empty(5)
+
+    def test_dumps_is_deterministic(self):
+        pset = PolicySet.of(UntrustedData("a"), UntrustedData("b"))
+        assert dumps_policyset(pset) == dumps_policyset(pset)

@@ -1,0 +1,265 @@
+"""Unit tests for the SQL substrate: tokenizer, parser, engine."""
+
+import pytest
+
+from repro.core.exceptions import SQLError
+from repro.core.policyset import PolicySet
+from repro.policies import UntrustedData
+from repro.sql import nodes, parse, tokenize
+from repro.sql.engine import Engine
+from repro.sql.tokenizer import IDENT, KEYWORD, NUMBER, OP, PUNCT, STRING
+from repro.tracking.propagation import concat
+from repro.tracking.tainted_str import taint_str
+
+U = UntrustedData("test")
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a, b FROM t WHERE x = 1")
+        kinds = [t.type for t in tokens]
+        assert kinds[:4] == [KEYWORD, IDENT, PUNCT, IDENT]
+        assert tokens[-1].type == "EOF"
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize("select")[0].value == "select"
+        assert tokenize("SeLeCt")[0].value == "select"
+
+    def test_string_literal_with_escaped_quote(self):
+        token = tokenize("'it''s'")[0]
+        assert token.type == STRING
+        assert str(token.value) == "it's"
+
+    def test_string_literal_keeps_policies(self):
+        query = concat("SELECT * FROM t WHERE name = '", taint_str("bob", U),
+                       "'")
+        strings = [t for t in tokenize(query) if t.type == STRING]
+        assert strings[0].value.policies() == PolicySet.of(U)
+
+    def test_structure_tokens_keep_policies(self):
+        query = concat("SELECT * FROM t WHERE x = ", taint_str("1 OR 1=1", U))
+        structural = [t for t in tokenize(query)
+                      if t.type in (KEYWORD, IDENT, OP, NUMBER)]
+        tainted = [t for t in structural
+                   if getattr(t.text, "policies", lambda: PolicySet.empty())()]
+        assert tainted  # the injected OR / 1 tokens carry the taint
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].value == 42
+        assert tokens[1].value == pytest.approx(3.14)
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT a FROM t -- trailing comment")
+        assert tokens[-2].value == "t"
+        tokens = tokenize("SELECT /* inline */ a FROM t")
+        assert [t.value for t in tokens if t.type == IDENT] == ["a", "t"]
+
+    def test_operators(self):
+        values = [t.value for t in tokenize("a <> b != c <= d >= e < f > g")
+                  if t.type == OP]
+        assert values == ["!=", "!=", "<=", ">=", "<", ">"]
+
+    def test_backquoted_identifier(self):
+        tokens = tokenize("SELECT `weird name` FROM t")
+        assert tokens[1].type == IDENT and str(tokens[1].value) == "weird name"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLError):
+            tokenize("SELECT 'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLError):
+            tokenize("SELECT @foo")
+
+
+class TestParser:
+    def test_create_table(self):
+        stmt = parse("CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT NOT "
+                     "NULL, note VARCHAR(80))")
+        assert isinstance(stmt, nodes.CreateTable)
+        assert [c.name for c in stmt.columns] == ["id", "name", "note"]
+        assert "PRIMARY KEY" in stmt.columns[0].constraints
+
+    def test_create_if_not_exists(self):
+        assert parse("CREATE TABLE IF NOT EXISTS t (a TEXT)").if_not_exists
+
+    def test_drop(self):
+        assert parse("DROP TABLE IF EXISTS t").if_exists
+
+    def test_insert_multiple_rows(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert len(stmt.rows) == 2
+        assert stmt.columns == ["a", "b"]
+
+    def test_insert_arity_mismatch(self):
+        with pytest.raises(SQLError):
+            parse("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_select_full_clause(self):
+        stmt = parse("SELECT DISTINCT a, b AS label FROM t WHERE a = 1 AND "
+                     "b LIKE 'x%' ORDER BY a DESC LIMIT 5 OFFSET 2")
+        assert stmt.distinct
+        assert stmt.items[1].alias == "label"
+        assert stmt.limit == 5 and stmt.offset == 2
+        assert stmt.order_by[0].descending
+
+    def test_select_star_and_functions(self):
+        stmt = parse("SELECT COUNT(*), MAX(score) FROM t")
+        assert stmt.items[0].expr.star
+        assert stmt.items[1].expr.name == "max"
+
+    def test_where_operators(self):
+        stmt = parse("SELECT a FROM t WHERE NOT (a IN (1, 2) OR b IS NOT "
+                     "NULL) AND c != 3")
+        assert isinstance(stmt.where, nodes.BinaryOp)
+
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = 1, b = 'x' WHERE id = 3")
+        assert [c for c, _ in stmt.assignments] == ["a", "b"]
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, nodes.Delete)
+
+    def test_keyword_usable_as_identifier(self):
+        stmt = parse("SELECT key FROM t WHERE key = 'x'")
+        assert stmt.items[0].expr.name == "key"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLError):
+            parse("SELECT a FROM t garbage %")
+        with pytest.raises(SQLError):
+            parse("SELECT a FROM t; SELECT b FROM t")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SQLError):
+            parse("GRANT ALL ON t TO public")
+
+    def test_to_sql_roundtrip(self):
+        text = "SELECT a, b FROM t WHERE (a = 1 AND b LIKE 'x%') LIMIT 3"
+        stmt = parse(text)
+        again = parse(str(stmt.to_sql()))
+        assert str(again.to_sql()) == str(stmt.to_sql())
+
+    def test_to_sql_preserves_literal_policies(self):
+        query = concat("SELECT a FROM t WHERE name = '", taint_str("eve", U),
+                       "'")
+        rendered = parse(query).to_sql()
+        assert rendered.policies() == PolicySet.of(U)
+
+
+class TestEngine:
+    @pytest.fixture
+    def engine(self):
+        engine = Engine()
+        engine.execute("CREATE TABLE users (id INTEGER, name TEXT, age INTEGER)")
+        engine.execute("INSERT INTO users (id, name, age) VALUES "
+                       "(1, 'alice', 30), (2, 'bob', 25), (3, 'carol', 35)")
+        return engine
+
+    def test_select_all(self, engine):
+        result = engine.execute("SELECT * FROM users")
+        assert len(result) == 3
+        assert result.columns == ["id", "name", "age"]
+
+    def test_select_where(self, engine):
+        result = engine.execute("SELECT name FROM users WHERE age > 26")
+        assert sorted(str(r["name"]) for r in result) == ["alice", "carol"]
+
+    def test_select_order_and_limit(self, engine):
+        result = engine.execute(
+            "SELECT name FROM users ORDER BY age DESC LIMIT 2")
+        assert [str(r["name"]) for r in result] == ["carol", "alice"]
+
+    def test_select_offset(self, engine):
+        result = engine.execute(
+            "SELECT name FROM users ORDER BY age ASC LIMIT 2 OFFSET 1")
+        assert [str(r["name"]) for r in result] == ["alice", "carol"]
+
+    def test_like(self, engine):
+        result = engine.execute("SELECT name FROM users WHERE name LIKE 'a%'")
+        assert [str(r["name"]) for r in result] == ["alice"]
+
+    def test_in_and_not_in(self, engine):
+        assert len(engine.execute(
+            "SELECT id FROM users WHERE id IN (1, 3)")) == 2
+        assert len(engine.execute(
+            "SELECT id FROM users WHERE id NOT IN (1, 3)")) == 1
+
+    def test_is_null(self, engine):
+        engine.execute("INSERT INTO users (id, name) VALUES (4, 'dave')")
+        assert len(engine.execute(
+            "SELECT id FROM users WHERE age IS NULL")) == 1
+        assert len(engine.execute(
+            "SELECT id FROM users WHERE age IS NOT NULL")) == 3
+
+    def test_aggregates(self, engine):
+        result = engine.execute(
+            "SELECT COUNT(*) AS n, MIN(age) AS lo, MAX(age) AS hi, "
+            "AVG(age) AS mean, SUM(age) AS total FROM users")
+        row = result.rows[0]
+        assert (row["n"], row["lo"], row["hi"]) == (3, 25, 35)
+        assert row["total"] == 90 and row["mean"] == 30
+
+    def test_scalar_functions(self, engine):
+        row = engine.execute(
+            "SELECT UPPER(name) AS u, LENGTH(name) AS l FROM users "
+            "WHERE id = 1").rows[0]
+        assert row["u"] == "ALICE" and row["l"] == 5
+
+    def test_distinct(self, engine):
+        engine.execute("INSERT INTO users (id, name, age) VALUES (5, 'alice', 30)")
+        assert len(engine.execute("SELECT name FROM users")) == 4
+        assert len(engine.execute("SELECT DISTINCT name FROM users")) == 3
+
+    def test_update(self, engine):
+        count = engine.execute(
+            "UPDATE users SET age = 31 WHERE name = 'alice'").rowcount
+        assert count == 1
+        assert engine.execute(
+            "SELECT age FROM users WHERE name = 'alice'").scalar() == 31
+
+    def test_delete(self, engine):
+        assert engine.execute("DELETE FROM users WHERE age < 30").rowcount == 1
+        assert len(engine.execute("SELECT * FROM users")) == 2
+
+    def test_drop_and_missing_table(self, engine):
+        engine.execute("DROP TABLE users")
+        with pytest.raises(SQLError):
+            engine.execute("SELECT * FROM users")
+        engine.execute("DROP TABLE IF EXISTS users")
+
+    def test_create_duplicate_table(self, engine):
+        with pytest.raises(SQLError):
+            engine.execute("CREATE TABLE users (x TEXT)")
+        engine.execute("CREATE TABLE IF NOT EXISTS users (x TEXT)")
+
+    def test_insert_unknown_column(self, engine):
+        with pytest.raises(SQLError):
+            engine.execute("INSERT INTO users (nope) VALUES (1)")
+
+    def test_select_unknown_column(self, engine):
+        with pytest.raises(SQLError):
+            engine.execute("SELECT nope FROM users WHERE nope = 1")
+
+    def test_select_without_from(self):
+        result = Engine().execute("SELECT 1 AS one, 'x' AS label")
+        assert result.rows[0]["one"] == 1
+
+    def test_classic_injection_widens_result(self, engine):
+        # The substrate behaves like a real database: a ' OR '1'='1 payload
+        # really does return every row, which is what the guard must stop.
+        result = engine.execute(
+            "SELECT name FROM users WHERE name = 'x' OR '1'='1'")
+        assert len(result) == 3
+
+    def test_result_row_positional_access(self, engine):
+        row = engine.execute("SELECT id, name FROM users WHERE id = 1").rows[0]
+        assert row[0] == 1 and str(row[1]) == "alice"
+        assert row.values_list() == [1, "alice"]
+
+    def test_null_comparisons_are_false(self, engine):
+        engine.execute("INSERT INTO users (id, name) VALUES (9, 'nil')")
+        assert len(engine.execute(
+            "SELECT id FROM users WHERE age = 30 AND name = 'nil'")) == 0
