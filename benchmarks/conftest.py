@@ -2,11 +2,11 @@
 
 import pytest
 
-from repro.core.runtime import reset_default_filters
+from repro.core.registry import default_registry
 
 
 @pytest.fixture(autouse=True)
 def _reset_global_default_filters():
-    reset_default_filters()
+    default_registry().reset()
     yield
-    reset_default_filters()
+    default_registry().reset()

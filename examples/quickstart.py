@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Quickstart: the HotCRP password assertion of Figure 2.
+"""Quickstart: the HotCRP password assertion of Figure 2, via the ``Resin``
+facade.
 
 A password is annotated with a ``PasswordPolicy`` once, where it is set.
 RESIN then tracks the policy through string operations, e-mail composition
@@ -7,46 +8,52 @@ and the database, and checks it wherever the data tries to leave the system:
 e-mailing the password to its owner is allowed, showing it to another user's
 browser is not — no matter which code path tried to do so.
 
+``Resin`` wraps one environment; everything it does (taint, channels,
+assertions) is scoped to that environment, so many of these can run
+concurrently in one process.  HTTP boundaries are created per request with
+``resin.request(...)`` / ``env.http_channel(...)`` — the canonical pattern —
+rather than shared across scenarios.
+
 Run with:  python examples/quickstart.py
 """
 
-from repro import (DisclosureViolation, PasswordPolicy, policy_add,
-                   policy_get)
-from repro.environment import Environment
+from repro import DisclosureViolation, PasswordPolicy, Resin
 
 
 def main() -> None:
-    env = Environment()
+    resin = Resin()
 
     # --- the assertion: one line where the password is first set -----------
-    password = policy_add("correct-horse-battery-staple",
-                          PasswordPolicy("alice@example.org"))
-    print("password policies:", policy_get(password))
+    password = resin.policy(
+        PasswordPolicy, "alice@example.org").on("correct-horse-battery-staple")
+    print("password policies:", resin.policies(password))
 
     # --- the policy follows the data --------------------------------------
     reminder = "Dear Alice,\n\nYour password is " + password + "\n"
-    print("policies on composed e-mail:", policy_get(reminder))
+    print("policies on composed e-mail:", resin.policies(reminder))
     print("characters that carry the policy:",
           str(reminder)[33:33 + len("correct-horse-battery-staple")])
 
     # --- allowed flow: e-mail to the account owner ------------------------
-    message = env.mail.send(to="alice@example.org",
-                            subject="Password reminder", body=reminder)
+    message = resin.mail.send(to="alice@example.org",
+                              subject="Password reminder", body=reminder)
     print("mail delivered to", message.to)
 
     # --- the same flow through persistent storage -------------------------
-    env.db.execute_unchecked("CREATE TABLE users (email TEXT, password TEXT)")
-    env.db.query("INSERT INTO users (email, password) VALUES "
-                 "('alice@example.org', '" + password + "')")
-    row = env.db.query("SELECT password FROM users").rows[0]
-    print("policies after a database round-trip:", policy_get(row["password"]))
+    resin.db.execute_unchecked(
+        "CREATE TABLE users (email TEXT, password TEXT)")
+    resin.db.query("INSERT INTO users (email, password) VALUES "
+                   "('alice@example.org', '" + password + "')")
+    row = resin.db.query("SELECT password FROM users").rows[0]
+    print("policies after a database round-trip:",
+          resin.policies(row["password"]))
 
     # --- forbidden flow: any other user's browser --------------------------
-    adversary_page = env.http_channel(user="mallory@example.org")
-    try:
-        adversary_page.write("debug dump: " + row["password"])
-    except DisclosureViolation as exc:
-        print("blocked:", exc)
+    with resin.request(user="mallory@example.org") as adversary_page:
+        try:
+            adversary_page.write("debug dump: " + row["password"])
+        except DisclosureViolation as exc:
+            print("blocked:", exc)
     print("adversary saw:", repr(adversary_page.body()))
 
 

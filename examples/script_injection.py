@@ -7,35 +7,41 @@ only approved code may run.  An uploaded file never has the policy, so the
 attack fails whether the adversary reaches it via include, eval, or a direct
 HTTP request.
 
+The assertion is installed on the *application's own environment* (its
+filter registry), so other environments in the same process — other tenants,
+other examples, the test suite — are unaffected and no global teardown is
+needed.
+
 Run with:  python examples/script_injection.py
 """
 
-from repro import ScriptInjectionViolation, reset_default_filters
+from repro import ScriptInjectionViolation
 from repro.apps.scriptapps import UploadApp
 from repro.environment import Environment
 
 
 def main() -> None:
     app = UploadApp("photo-gallery", Environment(), use_resin=True)
-    try:
-        print("Running the application's own (approved) front page:")
-        app.run_index()
-        print("  ok")
 
-        print("Adversary uploads evil.php and requests it:")
-        app.upload("mallory", "evil.php",
-                   "globals_dict['pwned'] = True\n"
-                   "output('<h1>owned</h1>')")
-        try:
-            app.http_get("/photo-gallery/uploads/evil.php")
-        except ScriptInjectionViolation as exc:
-            print("  blocked:", exc)
-        print("  attacker code executed?",
-              bool(app.env.interpreter.globals.get("pwned", False)))
-    finally:
-        # The assertion replaces a process-wide default filter; restore it so
-        # other examples/tests are unaffected.
-        reset_default_filters()
+    print("Running the application's own (approved) front page:")
+    app.run_index()
+    print("  ok")
+
+    print("An unprotected app in the same process is not affected:")
+    bystander = UploadApp("unrelated-app", Environment(), use_resin=False)
+    bystander.run_index()
+    print("  ok (its environment kept the permissive default filter)")
+
+    print("Adversary uploads evil.php and requests it:")
+    app.upload("mallory", "evil.php",
+               "globals_dict['pwned'] = True\n"
+               "output('<h1>owned</h1>')")
+    try:
+        app.http_get("/photo-gallery/uploads/evil.php")
+    except ScriptInjectionViolation as exc:
+        print("  blocked:", exc)
+    print("  attacker code executed?",
+          bool(app.env.interpreter.globals.get("pwned", False)))
 
 
 if __name__ == "__main__":

@@ -6,46 +6,48 @@ sanitizers add ``SQLSanitized`` / ``HTMLSanitized`` markers; filter objects
 on the SQL connection and the HTTP output refuse to let untrusted,
 unsanitized characters reach query structure or HTML.
 
+Both assertions are installed through the environment-scoped ``Resin``
+facade: the SQL guard goes on this environment's database connection, the
+XSS guard on the per-request HTTP channel.
+
 Run with:  python examples/sql_injection_and_xss.py
 """
 
-from repro import InjectionViolation, concat
-from repro.environment import Environment
-from repro.security.assertions import (HTMLGuardFilter, SQLGuardFilter,
-                                       mark_untrusted)
+from repro import InjectionViolation, Resin, UntrustedData, concat
 from repro.web.sanitize import html_escape, sql_quote
 
 
 def main() -> None:
-    env = Environment()
-    env.db.execute_unchecked(
+    resin = Resin()
+    resin.db.execute_unchecked(
         "CREATE TABLE comments (author TEXT, body TEXT)")
-    env.db.add_filter(SQLGuardFilter("structure"))
+    resin.assertion("sql-injection", strategy="structure").install()
 
     # Everything the browser sends is untrusted.
-    author = mark_untrusted("bobby'); DELETE FROM comments --", "http-param")
-    body = mark_untrusted("<script>steal(document.cookie)</script>",
-                          "http-param")
+    author = resin.taint("bobby'); DELETE FROM comments --",
+                         UntrustedData("http-param"))
+    body = resin.taint("<script>steal(document.cookie)</script>",
+                       UntrustedData("http-param"))
 
     print("1. Forgot to quote -> the SQL guard rejects the query:")
     try:
-        env.db.query(concat(
+        resin.db.query(concat(
             "INSERT INTO comments (author, body) VALUES ('", author, "', '",
             body, "')"))
     except InjectionViolation as exc:
         print("   blocked:", exc)
 
     print("2. Properly quoted input is stored fine:")
-    env.db.query(concat(
+    resin.db.query(concat(
         "INSERT INTO comments (author, body) VALUES ('", sql_quote(author),
         "', '", sql_quote(body), "')"))
-    print("   rows:", len(env.db.query("SELECT author FROM comments").rows))
+    print("   rows:", len(resin.db.query("SELECT author FROM comments").rows))
 
     print("3. Echoing the stored comment without escaping trips the XSS "
           "assertion:")
-    page = env.http_channel(user="visitor")
-    page.add_filter(HTMLGuardFilter())
-    stored = env.db.query("SELECT author, body FROM comments").rows[0]
+    page = resin.channel("http", user="visitor")
+    resin.assertion("xss").install(page)
+    stored = resin.db.query("SELECT author, body FROM comments").rows[0]
     try:
         page.write(concat("<div class='comment'>", stored["body"], "</div>"))
     except InjectionViolation as exc:

@@ -5,26 +5,30 @@ three mechanisms: policy objects attached to data, runtime data tracking that
 propagates those policies, and filter objects that define data flow
 boundaries where assertions are checked.
 
-Quickstart::
+Quickstart (the fluent, environment-scoped facade)::
 
-    from repro import PasswordPolicy, policy_add, Environment
+    from repro import PasswordPolicy, Resin
 
-    env = Environment()
-    password = policy_add("s3cret", PasswordPolicy("u@example.org"))
-    env.mail.send(to="u@example.org", subject="reminder",
-                  body="your password is " + password)   # allowed
-    env.http.write(password)                              # raises
+    resin = Resin()
+    password = resin.taint("s3cret", PasswordPolicy("u@example.org"))
+    resin.mail.send(to="u@example.org", subject="reminder",
+                    body="your password is " + password)  # allowed
+    with resin.request(user="someone@else.org") as http:
+        http.write(password)                              # raises
+
+Everything a ``Resin`` does is scoped to its own ``Environment`` — two
+tenants in one process never share filter state.  See ``docs/API.md``.
 """
 
 from .core import (AccessDenied, DeclassifyFilter, DefaultFilter,
                    DisclosureViolation, Filter, FilterChain, FilterContext,
-                   FilterError, InjectionViolation, MergeError, OutputBuffer,
-                   Policy, PolicySet, PolicyViolation, ResinError,
-                   ScriptInjectionViolation, check_export, filter_of,
-                   guard_function, has_policy, policy_add, policy_get,
-                   policy_remove, register_policy_class,
-                   reset_default_filters, set_default_filter_factory, taint,
-                   untaint)
+                   FilterError, FilterRegistry, InjectionViolation,
+                   MergeError, OutputBuffer, Policy, PolicySet,
+                   PolicyViolation, ResinError, ScriptInjectionViolation,
+                   check_export, default_registry, filter_of, guard_function,
+                   has_policy, policy_add, policy_get, policy_remove,
+                   register_policy_class, reset_default_filters,
+                   set_default_filter_factory, taint, untaint)
 from .policies import (ACL, AuthenticData, CodeApproval, HTMLSanitized,
                        JSONSanitized, PagePolicy, PasswordPolicy,
                        ReadAccessPolicy, SecretPolicy, SQLSanitized,
@@ -43,8 +47,11 @@ __all__ = [
     "FilterChain", "FilterContext", "OutputBuffer",
     "policy_add", "policy_remove", "policy_get", "has_policy", "taint",
     "untaint", "check_export", "guard_function", "filter_of",
-    "register_policy_class", "set_default_filter_factory",
-    "reset_default_filters",
+    "register_policy_class",
+    # scoped registry + fluent facade (the supported runtime API)
+    "FilterRegistry", "default_registry", "Resin",
+    # deprecated process-global shims (kept for pre-registry code)
+    "set_default_filter_factory", "reset_default_filters",
     # exceptions
     "ResinError", "PolicyViolation", "AccessDenied", "DisclosureViolation",
     "InjectionViolation", "ScriptInjectionViolation", "MergeError",
@@ -57,15 +64,18 @@ __all__ = [
     "TaintedStr", "TaintedBytes", "TaintedInt", "TaintedFloat", "RangeMap",
     "taint_str", "taint_bytes", "taint_int", "taint_float", "policies_of",
     "to_tainted_str", "concat", "interpolate",
-    # environment (imported lazily, see below)
+    # environment + facade (imported lazily, see below)
     "Environment",
 ]
 
 
 def __getattr__(name):
-    # Environment pulls in every substrate; import it lazily so that
-    # ``import repro`` stays cheap for users who only need the core API.
+    # Environment / Resin pull in every substrate; import them lazily so
+    # that ``import repro`` stays cheap for users who only need the core API.
     if name == "Environment":
         from .environment import Environment
         return Environment
+    if name == "Resin":
+        from .runtime_api import Resin
+        return Resin
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

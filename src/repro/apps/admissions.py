@@ -18,9 +18,9 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..channels.sqlchan import Database
 from ..environment import Environment
-from ..security.assertions import SQLGuardFilter, mark_untrusted
+from ..policies.untrusted import UntrustedData
+from ..runtime_api import Resin
 from ..tracking.propagation import concat, to_tainted_str
 from ..web.sanitize import sql_quote
 
@@ -31,6 +31,7 @@ class AdmissionsSystem:
     def __init__(self, env: Optional[Environment] = None,
                  use_resin: bool = True):
         self.env = env if env is not None else Environment()
+        self.resin = Resin(self.env)
         self.use_resin = use_resin
         self._setup_schema()
         if use_resin:
@@ -39,7 +40,7 @@ class AdmissionsSystem:
     def install_assertion(self) -> None:
         """The 9-line SQL-injection assertion: every query issued by the
         application flows through a structure-checking SQL guard."""
-        self.env.db.add_filter(SQLGuardFilter("structure"))
+        self.resin.assertion("sql-injection", strategy="structure").install()
 
     def _setup_schema(self) -> None:
         self.env.db.execute_unchecked(
@@ -62,7 +63,9 @@ class AdmissionsSystem:
         """Request parameters reach the handlers as untrusted data when the
         assertion is enabled (the mark-inputs half of the assertion)."""
         value = to_tainted_str(value)
-        return mark_untrusted(value, "http-param") if self.use_resin else value
+        if not self.use_resin:
+            return value
+        return self.resin.taint(value, UntrustedData("http-param"))
 
     # -- the public, correctly-written screen ----------------------------------------------
 

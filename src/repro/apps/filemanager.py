@@ -22,6 +22,7 @@ from typing import Optional
 from ..core.exceptions import FileSystemError, HTTPError
 from ..environment import Environment
 from ..fs import path as fspath
+from ..runtime_api import Resin
 from ..security.assertions import WriteAccessFilter
 from ..tracking.propagation import to_tainted_str
 
@@ -38,10 +39,11 @@ class BaseFileManager:
     def __init__(self, env: Optional[Environment] = None,
                  use_resin: bool = True):
         self.env = env if env is not None else Environment()
+        self.resin = Resin(self.env)
         self.use_resin = use_resin
         self.data_root = fspath.join(self.DATA_ROOT, self.name)
-        if not self.env.fs.exists(self.data_root):
-            self.env.fs.mkdir(self.data_root, parents=True)
+        if not self.resin.fs.exists(self.data_root):
+            self.resin.fs.mkdir(self.data_root, parents=True)
         if use_resin:
             self._install_write_assertion()
 
@@ -56,7 +58,7 @@ class BaseFileManager:
                 return False
             return fspath.is_inside(path, self.home_dir(user))
 
-        self.env.fs.set_persistent_filter(
+        self.resin.fs.set_persistent_filter(
             self.data_root, WriteAccessFilter(allowed=allowed))
 
     # -- application logic ---------------------------------------------------------------

@@ -25,11 +25,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..channels.httpout import HTTPOutputChannel
-from ..core.api import policy_add
 from ..core.exceptions import AccessDenied, DisclosureViolation, PolicyViolation
 from ..core.policy import Policy
 from ..environment import Environment
 from ..policies.password import PasswordPolicy
+from ..runtime_api import Resin
 from ..tracking.propagation import concat, to_tainted_str
 from ..web.sanitize import html_escape, sql_quote
 
@@ -115,6 +115,7 @@ class HotCRP:
     def __init__(self, env: Optional[Environment] = None,
                  use_resin: bool = True):
         self.env = env if env is not None else Environment()
+        self.resin = Resin(self.env)
         self.use_resin = use_resin
         #: Site-wide option: show outgoing mail in the browser instead of
         #: sending it (the feature that interacts badly with reminders).
@@ -145,7 +146,7 @@ class HotCRP:
         follows the password into the database and back."""
         password = to_tainted_str(password)
         if self.use_resin:
-            password = policy_add(password, PasswordPolicy(email))
+            password = self.resin.policy(PasswordPolicy, email).on(password)
         query = concat(
             "INSERT INTO users (email, password, is_pc, priv_chair) VALUES ('",
             sql_quote(email), "', '", sql_quote(password), "', ",
@@ -209,9 +210,10 @@ class HotCRP:
         author_text = to_tainted_str(author_field)
         if self.use_resin:
             allowed = set(authors)
-            title = policy_add(title, PaperPolicy(paper_id, allowed))
-            abstract = policy_add(abstract, PaperPolicy(paper_id, allowed))
-            author_text = policy_add(
+            title = self.resin.taint(title, PaperPolicy(paper_id, allowed))
+            abstract = self.resin.taint(abstract,
+                                        PaperPolicy(paper_id, allowed))
+            author_text = self.resin.taint(
                 author_text, AuthorListPolicy(paper_id, authors, anonymous))
         query = concat(
             "INSERT INTO papers (id, title, abstract, authors, anonymous) "
@@ -226,7 +228,8 @@ class HotCRP:
         authors = [a.strip() for a in str(paper["authors"]).split(",")]
         body = to_tainted_str(body)
         if self.use_resin:
-            body = policy_add(body, ReviewPolicy(paper_id, authors, released))
+            body = self.resin.taint(body,
+                                    ReviewPolicy(paper_id, authors, released))
         self.env.db.query(concat(
             "INSERT INTO reviews (paper_id, reviewer, body, released) VALUES (",
             str(int(paper_id)), ", '", sql_quote(reviewer), "', '",

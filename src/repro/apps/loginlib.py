@@ -16,10 +16,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..core.api import policy_add
 from ..environment import Environment
 from ..fs import path as fspath
 from ..policies.password import PasswordPolicy
+from ..runtime_api import Resin
 from ..tracking.propagation import concat, to_tainted_str
 from ..web.app import WebApplication
 from ..web.request import Request
@@ -38,6 +38,7 @@ class LoginLibrary:
     def __init__(self, env: Optional[Environment] = None,
                  use_resin: bool = True):
         self.env = env if env is not None else Environment()
+        self.resin = Resin(self.env)
         self.use_resin = use_resin
         self.web = WebApplication(self.env, name="loginlib-site")
         self.web.add_static_mount("/site", self.DOCROOT)
@@ -56,8 +57,8 @@ class LoginLibrary:
             # The 6-line assertion: this password may never be disclosed
             # (no e-mail reminders in this library, so no allowed channel —
             # the account name is not an e-mail address).
-            password = policy_add(
-                password, PasswordPolicy(username, allow_chair=False))
+            password = self.resin.policy(
+                PasswordPolicy, username, allow_chair=False).on(password)
         line = concat(username, ":", password, "\n")
         self.env.fs.write_text(self.PASSWORD_FILE, line, append=True)
 

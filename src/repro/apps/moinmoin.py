@@ -29,11 +29,11 @@ import re
 from typing import Dict, List, Optional
 
 from ..channels.httpout import HTTPOutputChannel
-from ..core.api import policy_add
 from ..core.exceptions import AccessDenied, HTTPError
 from ..environment import Environment
 from ..fs import path as fspath
 from ..policies.acl import ACL, PagePolicy
+from ..runtime_api import Resin
 from ..security.assertions import WriteAccessFilter
 from ..tracking.propagation import to_tainted_str
 
@@ -49,6 +49,7 @@ class MoinMoin:
                  use_resin: bool = True,
                  use_write_assertion: bool = True):
         self.env = env if env is not None else Environment()
+        self.resin = Resin(self.env)
         self.use_resin = use_resin
         self.use_write_assertion = use_write_assertion
         if not self.env.fs.exists(PAGES_ROOT):
@@ -110,7 +111,7 @@ class MoinMoin:
         acl = self.parse_acl(text)
         if self.use_resin:
             # The 8-line read assertion: attach the page's ACL to its data.
-            text = policy_add(text, PagePolicy(acl, name))
+            text = self.resin.taint(text, PagePolicy(acl, name))
         page_dir = self._page_dir(name)
         if not self.env.fs.exists(page_dir):
             self.env.fs.mkdir(page_dir, parents=True)

@@ -30,11 +30,11 @@ from typing import Dict, Iterable, List, Optional
 
 from ..channels.httpout import HTTPOutputChannel
 from ..channels.socketchan import SocketChannel
-from ..core.api import policy_add
 from ..core.exceptions import AccessDenied, HTTPError
 from ..core.policy import Policy
 from ..environment import Environment
-from ..security.assertions import HTMLGuardFilter, UntrustedInputFilter, mark_untrusted
+from ..policies.untrusted import UntrustedData
+from ..runtime_api import Resin
 from ..tracking.propagation import concat, to_tainted_str
 from ..web.sanitize import html_escape, sql_quote
 
@@ -74,6 +74,7 @@ class PhpBB:
                  use_xss_assertion: bool = True):
         global CURRENT_BOARD
         self.env = env if env is not None else Environment()
+        self.resin = Resin(self.env)
         self.use_read_assertion = use_read_assertion
         self.use_xss_assertion = use_xss_assertion
         self._setup_schema()
@@ -120,7 +121,7 @@ class PhpBB:
         if self.use_read_assertion:
             # The 23-line read assertion: annotate the message body with a
             # policy that defers to the board's own permission check.
-            body = policy_add(body, ForumMessagePolicy(forum_id))
+            body = self.resin.taint(body, ForumMessagePolicy(forum_id))
         self.env.db.query(concat(
             "INSERT INTO messages (msg_id, forum_id, author, subject, body) "
             "VALUES (", str(int(msg_id)), ", ", str(int(forum_id)), ", '",
@@ -130,7 +131,8 @@ class PhpBB:
     def set_signature(self, user: str, signature: str) -> None:
         signature = to_tainted_str(signature)
         if self.use_xss_assertion:
-            signature = mark_untrusted(signature, "signature")
+            signature = self.resin.taint(signature,
+                                         UntrustedData("signature"))
         self.env.db.query(concat(
             "INSERT INTO signatures (user, signature) VALUES ('",
             sql_quote(user), "', '", sql_quote(signature), "')"))
@@ -146,7 +148,7 @@ class PhpBB:
     def _response_for(self, user: Optional[str]) -> HTTPOutputChannel:
         response = self.env.http_channel(user=user)
         if self.use_xss_assertion:
-            response.add_filter(HTMLGuardFilter())
+            self.resin.assertion("xss").install(response)
         return response
 
     # -- message views: one correct path, several buggy ones -----------------------------------
@@ -263,7 +265,8 @@ class PhpBB:
         if response is None:
             response = self._response_for(viewer)
         if self.use_xss_assertion:
-            whois_server.add_filter(UntrustedInputFilter("whois"))
+            self.resin.assertion("untrusted-input",
+                                 source="whois").install(whois_server)
         whois_server.write(to_tainted_str(f"QUERY {hostname}\r\n"))
         record = whois_server.read()
         response.write("<h2>whois ")

@@ -26,7 +26,7 @@ from typing import List, Optional
 from ..core.exceptions import HTTPError
 from ..environment import Environment
 from ..fs import path as fspath
-from ..security.assertions import approve_code_file, install_script_injection_assertion
+from ..runtime_api import Resin
 from ..tracking.propagation import to_tainted_str
 from ..web.app import WebApplication
 from ..web.request import Request
@@ -49,6 +49,7 @@ class UploadApp:
         self.name = name
         self.cve = cve
         self.env = env if env is not None else Environment()
+        self.resin = Resin(self.env)
         self.use_resin = use_resin
         self.docroot = f"/www/{name}"
         self.upload_dir = fspath.join(self.docroot, "uploads")
@@ -58,14 +59,19 @@ class UploadApp:
 
     def _install(self) -> None:
         """Install the application: write its own scripts into the docroot
-        and, with RESIN, apply the script-injection assertion."""
+        and, with RESIN, apply the script-injection assertion.
+
+        The assertion is installed on *this application's* environment only
+        (its registry), so several applications — protected or not — can run
+        concurrently in one process without interfering.
+        """
         self.env.fs.mkdir(self.upload_dir, parents=True)
         index = fspath.join(self.docroot, "index.php")
         self.env.fs.write_text(
             index, "output('<h1>%s</h1>')\n" % self.name)
         if self.use_resin:
-            install_script_injection_assertion()
-            approve_code_file(self.env.fs, index)
+            self.resin.assertion("script-injection").install()
+            self.resin.approve_code(index)
 
     # -- the vulnerable feature ------------------------------------------------------
 

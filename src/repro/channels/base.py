@@ -18,20 +18,31 @@ from typing import Any, List, Optional
 from ..core.context import FilterContext
 from ..core.exceptions import ChannelError
 from ..core.filter import Filter, FilterChain
-from ..core.runtime import make_default_filter
+from ..core.registry import FilterRegistry, resolve_registry
 
 
 class Channel:
-    """Base class for I/O channels."""
+    """Base class for I/O channels.
+
+    Every channel belongs to a :class:`~repro.core.registry.FilterRegistry`
+    that supplies its default filter: pass ``registry=`` explicitly, or
+    ``env=`` to use the owning environment's registry.  With neither, the
+    channel falls back to the process-wide default registry (the deprecated
+    pre-registry behaviour).
+    """
 
     #: Channel type used to pick the default filter and reported in contexts.
     channel_type = "socket"
 
-    def __init__(self, context: Optional[dict] = None):
+    def __init__(self, context: Optional[dict] = None, *,
+                 registry: Optional[FilterRegistry] = None,
+                 env=None):
         ctx = FilterContext(type=self.channel_type)
         if context:
             ctx.update(context)
-        default = make_default_filter(self.channel_type, ctx)
+        self.registry = resolve_registry(registry, env)
+        self.env = env
+        default = self.registry.make_default_filter(self.channel_type, ctx)
         self.filter = FilterChain([default], ctx)
         self.context = ctx
         self.closed = False
@@ -90,8 +101,10 @@ class CollectingChannel(Channel):
     harness inspect it to decide whether an attack succeeded.
     """
 
-    def __init__(self, context: Optional[dict] = None):
-        super().__init__(context)
+    def __init__(self, context: Optional[dict] = None, *,
+                 registry: Optional[FilterRegistry] = None,
+                 env=None):
+        super().__init__(context, registry=registry, env=env)
         self.sent: List[Any] = []
         self._incoming: List[Any] = []
 

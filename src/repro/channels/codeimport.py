@@ -26,9 +26,6 @@ class CodeChannel(Channel):
 
     channel_type = "code"
 
-    def __init__(self, context: Optional[dict] = None):
-        super().__init__(context)
-
     def load(self, source, origin: Optional[str] = None) -> TaintedStr:
         """Run ``source`` through the import boundary and return the code the
         interpreter may execute.  Raises if the channel's filter rejects it."""

@@ -21,8 +21,9 @@ class HTTPOutputChannel(Channel):
 
     channel_type = "http"
 
-    def __init__(self, context: Optional[dict] = None):
-        super().__init__(context)
+    def __init__(self, context: Optional[dict] = None, *,
+                 registry=None, env=None):
+        super().__init__(context, registry=registry, env=env)
         self.chunks: List[str] = []
         self.status = 200
         self.headers: List[tuple] = []

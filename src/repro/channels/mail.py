@@ -20,10 +20,11 @@ class EmailChannel(CollectingChannel):
 
     channel_type = "email"
 
-    def __init__(self, recipient: str, context: Optional[dict] = None):
+    def __init__(self, recipient: str, context: Optional[dict] = None, *,
+                 registry=None, env=None):
         ctx = dict(context or {})
         ctx.setdefault("email", recipient)
-        super().__init__(ctx)
+        super().__init__(ctx, registry=registry, env=env)
         self.recipient = recipient
 
 
@@ -49,8 +50,11 @@ class MailTransport:
     and are never delivered.
     """
 
-    def __init__(self, default_sender: str = "noreply@example.org"):
+    def __init__(self, default_sender: str = "noreply@example.org", *,
+                 registry=None, env=None):
+        from ..core.registry import resolve_registry
         self.default_sender = default_sender
+        self.registry = resolve_registry(registry, env)
         self.outbox: List[Message] = []
 
     def send(self, to: str, subject: str, body,
@@ -62,7 +66,7 @@ class MailTransport:
         against the recipient in the channel context.
         """
         sender = sender or self.default_sender
-        channel = EmailChannel(to)
+        channel = EmailChannel(to, registry=self.registry)
         text = concat("From: ", sender, "\r\nTo: ", to,
                       "\r\nSubject: ", to_tainted_str(subject), "\r\n\r\n",
                       to_tainted_str(body))

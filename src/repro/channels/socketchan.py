@@ -21,11 +21,12 @@ class SocketChannel(CollectingChannel):
     channel_type = "socket"
 
     def __init__(self, peer: Optional[str] = None,
-                 context: Optional[dict] = None):
+                 context: Optional[dict] = None, *,
+                 registry=None, env=None):
         ctx = dict(context or {})
         if peer is not None:
             ctx.setdefault("peer", peer)
-        super().__init__(ctx)
+        super().__init__(ctx, registry=registry, env=env)
         self.peer = peer
 
 
@@ -35,9 +36,10 @@ class PipeChannel(CollectingChannel):
     channel_type = "pipe"
 
     def __init__(self, command: Optional[str] = None,
-                 context: Optional[dict] = None):
+                 context: Optional[dict] = None, *,
+                 registry=None, env=None):
         ctx = dict(context or {})
         if command is not None:
             ctx.setdefault("command", command)
-        super().__init__(ctx)
+        super().__init__(ctx, registry=registry, env=env)
         self.command = command

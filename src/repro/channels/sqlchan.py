@@ -23,7 +23,7 @@ from typing import Any, List, Optional
 from ..core.context import FilterContext
 from ..core.exceptions import SQLError
 from ..core.filter import Filter, FilterChain
-from ..core.runtime import make_default_filter
+from ..core.registry import resolve_registry
 from ..core.serialization import (deserialize_policyset, deserialize_rangemap,
                                   serialize_policyset, serialize_rangemap)
 from ..sql import nodes
@@ -98,12 +98,14 @@ class Database:
 
     def __init__(self, engine: Optional[Engine] = None,
                  persist_policies: bool = True,
-                 context: Optional[dict] = None):
+                 context: Optional[dict] = None, *,
+                 registry=None, env=None):
         self.engine = engine if engine is not None else Engine()
         ctx = FilterContext(type="sql")
         if context:
             ctx.update(context)
-        default = make_default_filter("sql", ctx)
+        self.registry = resolve_registry(registry, env)
+        default = self.registry.make_default_filter("sql", ctx)
         self.filter = FilterChain([default], ctx)
         self.context = ctx
         self.persist_policies = persist_policies

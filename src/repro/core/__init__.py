@@ -12,6 +12,8 @@ from .filter import (DeclassifyFilter, DefaultFilter, Filter, FilterChain,
                      filter_of, guard_function)
 from .policy import Policy
 from .policyset import PolicySet, as_policyset
+from .registry import (CHANNEL_TYPES, FilterRegistry, default_registry,
+                       resolve_registry)
 from .runtime import (OutputBuffer, check_export, make_default_filter,
                       reset_default_filters, set_default_filter_factory)
 from .serialization import (deserialize_policy, deserialize_policyset,
@@ -29,7 +31,10 @@ __all__ = [
     # filters
     "Filter", "DefaultFilter", "DeclassifyFilter", "FilterChain",
     "guard_function", "filter_of", "FilterContext", "as_context",
-    # runtime
+    # registry
+    "FilterRegistry", "default_registry", "resolve_registry", "CHANNEL_TYPES",
+    # runtime (the *_default_filter* functions are deprecation shims over the
+    # process-wide registry; prefer env.registry / the Resin facade)
     "OutputBuffer", "check_export", "make_default_filter",
     "set_default_filter_factory", "reset_default_filters",
     # serialization

@@ -1,0 +1,167 @@
+"""Environment-scoped default-filter registries.
+
+Historically the mapping from channel type to default filter factory was a
+process-global table in :mod:`repro.core.runtime`.  That made two
+:class:`~repro.environment.Environment` instances in one process interfere
+with each other: installing the script-injection assertion for one tenant
+replaced the ``code``-channel filter for *every* tenant.
+
+``FilterRegistry`` scopes that table.  Each ``Environment`` owns one
+registry; every channel constructor resolves its default filter through the
+registry of the environment that created it.  Registries form a lookup
+chain: a registry that has no local factory for a channel type delegates to
+its ``parent`` (by default the process-wide registry behind the deprecated
+free functions), and finally falls back to the built-in
+:class:`~repro.core.filter.DefaultFilter`.
+
+The process-wide registry still exists — :func:`default_registry` returns
+it — so the old free functions (``repro.set_default_filter_factory`` and
+friends) keep working as deprecation shims, and code that never threads an
+environment through keeps its old behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from .context import FilterContext, as_context
+from .exceptions import FilterError
+from .filter import DefaultFilter, Filter
+
+__all__ = ["FilterRegistry", "default_registry", "resolve_registry",
+           "CHANNEL_TYPES", "FilterFactory"]
+
+FilterFactory = Callable[[FilterContext], Filter]
+
+#: Channel types known to the runtime.  Applications may register additional
+#: types; these are the ones the paper's default boundary covers.
+CHANNEL_TYPES = ("file", "socket", "pipe", "http", "email", "sql", "code")
+
+
+def _builtin_factory(context: FilterContext) -> Filter:
+    return DefaultFilter(context)
+
+
+class FilterRegistry:
+    """A scoped mapping from channel type to default filter factory."""
+
+    __slots__ = ("_factories", "parent")
+
+    def __init__(self, parent: Optional["FilterRegistry"] = None):
+        self._factories: Dict[str, FilterFactory] = {}
+        self.parent = parent
+
+    # -- factory management ------------------------------------------------------
+
+    def set_default_filter_factory(self, channel_type: str,
+                                   factory: FilterFactory) -> None:
+        """Override the default filter installed on new channels of
+        ``channel_type`` created through this registry.
+
+        The paper's script-injection assertion does exactly this for the
+        ``code`` channel: it replaces the permissive default filter with one
+        that requires a ``CodeApproval`` policy (Section 5.2).
+        """
+        if not callable(factory):
+            raise FilterError("filter factory must be callable")
+        self._factories[channel_type] = factory
+
+    def get_default_filter_factory(self, channel_type: str) -> FilterFactory:
+        registry: Optional[FilterRegistry] = self
+        while registry is not None:
+            factory = registry._factories.get(channel_type)
+            if factory is not None:
+                return factory
+            registry = registry.parent
+        return _builtin_factory
+
+    def has_override(self, channel_type: str, *, inherited: bool = True) -> bool:
+        """True if a non-builtin factory is registered for ``channel_type``
+        (in this registry, or — with ``inherited`` — anywhere up the chain)."""
+        if channel_type in self._factories:
+            return True
+        if inherited and self.parent is not None:
+            return self.parent.has_override(channel_type)
+        return False
+
+    def overrides(self) -> Tuple[str, ...]:
+        """The channel types with a *local* factory override."""
+        return tuple(sorted(self._factories))
+
+    def reset(self, channel_type: Optional[str] = None) -> None:
+        """Drop this registry's local overrides (parent overrides, if any,
+        become visible again).  With ``channel_type``, drop only that one."""
+        if channel_type is None:
+            self._factories.clear()
+        else:
+            self._factories.pop(channel_type, None)
+
+    def child(self) -> "FilterRegistry":
+        """A new registry that inherits from this one."""
+        return FilterRegistry(parent=self)
+
+    # -- filter construction ------------------------------------------------------
+
+    def make_default_filter(self, channel_type: str,
+                            context: Optional[dict] = None) -> Filter:
+        """Create the default filter for a new channel of ``channel_type``."""
+        ctx = as_context(context)
+        ctx.setdefault("type", channel_type)
+        flt = self.get_default_filter_factory(channel_type)(ctx)
+        if not isinstance(flt, Filter):
+            raise FilterError(
+                f"default filter factory for {channel_type!r} returned "
+                f"{type(flt).__name__}, expected a Filter")
+        if flt.context is not ctx:
+            # The factory built its own context.  Merge its keys (including
+            # an explicit "type") into the runtime-prepared context *in
+            # place* and share that one object, so that later channel
+            # context mutations (e.g. HTTPOutputChannel.set_user) stay
+            # visible to the filter.  The old code built a third, divorced
+            # dict here, losing those mutations.
+            for key, value in flt.context.items():
+                ctx[key] = value
+            flt.context = ctx
+        return flt
+
+    def __repr__(self) -> str:
+        chain = []
+        registry: Optional[FilterRegistry] = self
+        while registry is not None:
+            chain.append("{%s}" % ", ".join(sorted(registry._factories)))
+            registry = registry.parent
+        return f"FilterRegistry({' -> '.join(chain)})"
+
+
+#: The process-wide registry behind the deprecated module-level functions.
+_process_registry = FilterRegistry()
+
+
+def default_registry() -> FilterRegistry:
+    """The process-wide default registry (the deprecation-shim target).
+
+    New code should use an :class:`~repro.environment.Environment`'s own
+    ``registry`` (or the :class:`~repro.runtime_api.Resin` facade) instead;
+    this registry only exists so that pre-registry code and the old free
+    functions keep working.
+    """
+    return _process_registry
+
+
+def resolve_registry(registry: Optional[FilterRegistry] = None,
+                     env=None) -> FilterRegistry:
+    """Resolve the registry a channel constructor should use.
+
+    Preference order: an explicit ``registry``, then the ``registry`` of the
+    owning environment, then the process-wide default registry.
+    """
+    if registry is not None:
+        if not isinstance(registry, FilterRegistry):
+            raise FilterError(
+                f"expected a FilterRegistry, got {type(registry).__name__}")
+        return registry
+    if env is not None:
+        env_registry = getattr(env, "registry", None)
+        if isinstance(env_registry, FilterRegistry):
+            return env_registry
+    return _process_registry

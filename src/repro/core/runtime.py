@@ -1,85 +1,76 @@
 """Runtime boundary machinery.
 
 This module implements the pieces of the RESIN runtime that are independent
-of any particular channel: the registry of default filter factories (so that
-every newly created channel of a given type gets the right default filter,
-Section 3.2.1), the export-check helper used by those filters, and the output
-buffering mechanism applications use to combine assertions with exception
-handling (Section 5.5).
+of any particular channel: the export-check helper used by default filters,
+and the output buffering mechanism applications use to combine assertions
+with exception handling (Section 5.5).
+
+The registry of default filter factories (Section 3.2.1) lives in
+:mod:`repro.core.registry` and is *environment-scoped*: each
+:class:`~repro.environment.Environment` owns a
+:class:`~repro.core.registry.FilterRegistry`.  The module-level functions
+below (``set_default_filter_factory`` and friends) are kept as deprecation
+shims over the process-wide default registry for code written against the
+pre-registry API.
 
 The full "environment" — filesystem + database + mail + HTTP output + code
-interpreter wired together — lives in :mod:`repro.environment`.
+interpreter wired together — lives in :mod:`repro.environment`; the fluent
+entry point is :class:`repro.runtime_api.Resin`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, List, Optional
 
-from .context import FilterContext, as_context
+from .context import as_context
 from .exceptions import FilterError
-from .filter import DefaultFilter, Filter
+from .filter import Filter
+from .registry import (CHANNEL_TYPES, FilterFactory,  # noqa: F401 (re-export)
+                       default_registry)
 
 __all__ = [
     "set_default_filter_factory", "get_default_filter_factory",
     "make_default_filter", "reset_default_filters", "check_export",
-    "OutputBuffer",
+    "OutputBuffer", "CHANNEL_TYPES",
 ]
 
-FilterFactory = Callable[[FilterContext], Filter]
 
-#: Channel types known to the runtime.  Applications may register additional
-#: types; these are the ones the paper's default boundary covers.
-CHANNEL_TYPES = ("file", "socket", "pipe", "http", "email", "sql", "code")
-
-_default_factories: Dict[str, FilterFactory] = {}
-
-
-def _builtin_factory(context: FilterContext) -> Filter:
-    return DefaultFilter(context)
-
+# -- deprecation shims over the process-wide registry ---------------------------
+#
+# These mutate *process-global* state and therefore make concurrent
+# environments interfere.  New code should call the same-named methods on an
+# Environment's ``registry`` (or use the ``Resin`` facade) instead.
 
 def set_default_filter_factory(channel_type: str,
                                factory: FilterFactory) -> None:
-    """Override the default filter installed on new channels of
-    ``channel_type``.
+    """Deprecated shim: override a default filter factory *process-wide*.
 
-    The paper's script-injection assertion does exactly this for the ``code``
-    channel: it replaces the permissive default filter with one that requires
-    a ``CodeApproval`` policy (Section 5.2).
+    Prefer ``env.registry.set_default_filter_factory(...)`` — the scoped
+    variant does not leak into other environments in the same process.
     """
-    if not callable(factory):
-        raise FilterError("filter factory must be callable")
-    _default_factories[channel_type] = factory
+    default_registry().set_default_filter_factory(channel_type, factory)
 
 
 def get_default_filter_factory(channel_type: str) -> FilterFactory:
-    return _default_factories.get(channel_type, _builtin_factory)
+    """Deprecated shim: resolve a factory from the process-wide registry."""
+    return default_registry().get_default_filter_factory(channel_type)
 
 
 def make_default_filter(channel_type: str,
                         context: Optional[dict] = None) -> Filter:
-    """Create the default filter for a new channel of ``channel_type``."""
-    ctx = as_context(context)
-    ctx.setdefault("type", channel_type)
-    flt = get_default_filter_factory(channel_type)(ctx)
-    if not isinstance(flt, Filter):
-        raise FilterError(
-            f"default filter factory for {channel_type!r} returned "
-            f"{type(flt).__name__}, expected a Filter")
-    # The factory may build its own context; make sure the channel context
-    # the runtime prepared is visible to it.
-    if flt.context is not ctx:
-        merged = dict(ctx)
-        merged.update(flt.context)
-        flt.context = as_context(merged)
-    return flt
+    """Deprecated shim: build a default filter from the process-wide
+    registry.  Channels owned by an environment resolve through the
+    environment's registry instead."""
+    return default_registry().make_default_filter(channel_type, context)
 
 
 def reset_default_filters() -> None:
-    """Restore the built-in default filter on every channel type.
+    """Deprecated shim: restore the built-in default filter on every channel
+    type in the *process-wide* registry.
 
-    Tests and benchmarks use this to isolate runs from each other."""
-    _default_factories.clear()
+    Environment-scoped overrides (``env.registry``) are unaffected; reset
+    those with ``env.registry.reset()``."""
+    default_registry().reset()
 
 
 def check_export(data: Any, context: Optional[dict] = None) -> Any:

@@ -5,6 +5,14 @@ deployment does: one filesystem, one database, one outgoing-mail transport,
 one script interpreter, and per-request HTTP output channels.  The paper's
 evaluation applications (:mod:`repro.apps`) are built on top of an
 ``Environment``; examples and benchmarks create one per scenario.
+
+Each environment owns a :class:`~repro.core.registry.FilterRegistry` that
+supplies the default filter of every channel the environment (or its
+substrates) creates.  The registry inherits from the process-wide default
+registry, so overrides installed through the deprecated free functions
+remain visible — but overrides installed on *this* environment's registry
+never leak into other environments in the same process.  That scoping is
+what lets many tenants/requests run concurrently in one interpreter.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from .channels.httpout import HTTPOutputChannel
 from .channels.mail import MailTransport
 from .channels.socketchan import PipeChannel, SocketChannel
 from .channels.sqlchan import Database
+from .core.registry import FilterRegistry, default_registry
 from .fs.resinfs import ResinFS
 from .interp.interpreter import Interpreter
 from .sql.engine import Engine
@@ -24,10 +33,16 @@ from .web.session import SessionStore
 class Environment:
     """Everything an application needs to run under RESIN."""
 
-    def __init__(self, persist_policies: bool = True):
-        self.fs = ResinFS()
-        self.db = Database(Engine(), persist_policies=persist_policies)
-        self.mail = MailTransport()
+    def __init__(self, persist_policies: bool = True,
+                 registry: Optional[FilterRegistry] = None):
+        #: This environment's default-filter registry.  Falls back to the
+        #: process-wide registry for channel types it does not override.
+        self.registry = (registry if registry is not None
+                         else FilterRegistry(parent=default_registry()))
+        self.fs = ResinFS(registry=self.registry)
+        self.db = Database(Engine(), persist_policies=persist_policies,
+                           registry=self.registry)
+        self.mail = MailTransport(registry=self.registry)
         self.sessions = SessionStore()
         self.interpreter = Interpreter(self)
 
@@ -36,16 +51,20 @@ class Environment:
     def http_channel(self, user: Optional[str] = None,
                      priv_chair: bool = False,
                      **context) -> HTTPOutputChannel:
-        """A fresh HTTP output channel for one response."""
-        channel = HTTPOutputChannel(context)
+        """A fresh HTTP output channel for one response.
+
+        This is the canonical way to get an HTTP boundary: one channel per
+        request, so no user or policy state carries over between responses.
+        """
+        channel = HTTPOutputChannel(context, env=self)
         channel.set_user(user, priv_chair=priv_chair)
         return channel
 
     def socket(self, peer: Optional[str] = None, **context) -> SocketChannel:
-        return SocketChannel(peer, context)
+        return SocketChannel(peer, context, env=self)
 
     def pipe(self, command: Optional[str] = None, **context) -> PipeChannel:
-        return PipeChannel(command, context)
+        return PipeChannel(command, context, env=self)
 
     # -- convenience shims used by examples -------------------------------------------
 
@@ -54,9 +73,19 @@ class Environment:
         """A lazily-created shared HTTP channel for quick demos.
 
         Real applications create one channel per request via
-        :meth:`http_channel`; this shared one exists so the README quickstart
-        can say ``env.http.write(...)``.
+        :meth:`http_channel` (or ``Resin.request``); this shared one exists
+        so the README quickstart can say ``env.http.write(...)``.  Because it
+        is shared, user and policy state written to it accumulates across
+        scenarios — call :meth:`reset_http` between demo scenarios, or use
+        :meth:`http_channel` and keep one channel per request.
         """
-        if not hasattr(self, "_shared_http"):
+        if self._shared_http is None:
             self._shared_http = self.http_channel()
         return self._shared_http
+
+    _shared_http: Optional[HTTPOutputChannel] = None
+
+    def reset_http(self) -> None:
+        """Drop the shared demo channel so the next ``env.http`` access
+        starts from a clean context and an empty body."""
+        self._shared_http = None

@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..core.exceptions import PolicyViolation
-from ..core.runtime import reset_default_filters
 from ..environment import Environment
 from ..security.assertions import mark_untrusted
 
@@ -389,26 +388,25 @@ def run_phpbb_xss(use_resin: bool) -> RowResult:
 # --------------------------------------------------------------------------
 
 def run_script_injection(use_resin: bool) -> RowResult:
+    # The script-injection assertion is installed on each application's own
+    # environment registry, so no process-global setup/teardown is needed
+    # (the pre-registry code had to reset_default_filters() around this).
     from ..apps.scriptapps import VULNERABLE_APPS, UploadApp
-    reset_default_filters()
     attacks: List[AttackResult] = []
     legitimate = True
-    try:
-        for name, cve in VULNERABLE_APPS:
-            app = UploadApp(name, Environment(), use_resin=use_resin, cve=cve)
-            app.run_index()
-            legitimate = legitimate and bool(True)
-            app.upload("mallory", "evil.php",
-                       "globals_dict['pwned'] = True")
+    for name, cve in VULNERABLE_APPS:
+        app = UploadApp(name, Environment(), use_resin=use_resin, cve=cve)
+        app.run_index()
+        legitimate = legitimate and bool(True)
+        app.upload("mallory", "evil.php",
+                   "globals_dict['pwned'] = True")
 
-            def exploit(app=app) -> bool:
-                app.http_get(f"/{app.name}/uploads/evil.php")
-                return bool(app.env.interpreter.globals.get("pwned"))
+        def exploit(app=app) -> bool:
+            app.http_get(f"/{app.name}/uploads/evil.php")
+            return bool(app.env.interpreter.globals.get("pwned"))
 
-            attacks.append(_attack(f"upload-and-execute in {name} ({cve})",
-                                   exploit))
-    finally:
-        reset_default_filters()
+        attacks.append(_attack(f"upload-and-execute in {name} ({cve})",
+                               exploit))
     return RowResult("many (upload-enabled PHP apps)",
                      "Server-side script injection", 12, 5, 0, attacks,
                      legitimate)
@@ -448,11 +446,9 @@ SCENARIOS: List[Scenario] = [
 
 
 def run_scenario(scenario: Scenario, use_resin: bool) -> RowResult:
-    reset_default_filters()
-    try:
-        return scenario.runner(use_resin)
-    finally:
-        reset_default_filters()
+    # Every scenario builds its own Environment (and thus its own filter
+    # registry), so scenarios are isolated without global teardown.
+    return scenario.runner(use_resin)
 
 
 def run_all(use_resin: bool) -> List[RowResult]:

@@ -29,7 +29,7 @@ from typing import Any, Dict, List, Optional
 from ..core.context import FilterContext
 from ..core.exceptions import FileSystemError
 from ..core.filter import Filter
-from ..core.runtime import make_default_filter
+from ..core.registry import resolve_registry
 from ..core.serialization import dumps_rangemap, loads_rangemap
 from ..tracking.tainted_bytes import TaintedBytes
 from ..tracking.tainted_str import TaintedStr
@@ -110,8 +110,10 @@ class ResinFile:
 class ResinFS:
     """Policy- and filter-aware filesystem operations."""
 
-    def __init__(self, raw: Optional[FileSystem] = None):
+    def __init__(self, raw: Optional[FileSystem] = None, *,
+                 registry=None, env=None):
         self.raw = raw if raw is not None else FileSystem()
+        self.registry = resolve_registry(registry, env)
         self.request_context: Dict[str, Any] = {}
 
     # -- request context -------------------------------------------------------
@@ -197,7 +199,7 @@ class ResinFS:
     # -- default filters -----------------------------------------------------------
 
     def _default_filter(self, path: str) -> Filter:
-        return make_default_filter("file", FilterContext(
+        return self.registry.make_default_filter("file", FilterContext(
             type="file", path=path, **self.request_context))
 
     # -- policy persistence -----------------------------------------------------------

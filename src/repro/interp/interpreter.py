@@ -40,8 +40,11 @@ class Interpreter:
         self.globals: Dict[str, Any] = {}
 
     def new_channel(self, origin: Optional[str] = None) -> CodeChannel:
+        """A fresh code-import channel resolving its default filter through
+        the owning environment's registry (so a script-injection assertion
+        installed for one environment does not leak into another)."""
         context = {"origin": origin} if origin else {}
-        return CodeChannel(context)
+        return CodeChannel(context, env=self.env)
 
     def execute_source(self, source, origin: str = "<string>",
                        request=None, response=None) -> Dict[str, Any]:

@@ -1,0 +1,384 @@
+"""The fluent, environment-scoped RESIN runtime API.
+
+:class:`Resin` is the single entry point applications use to talk to the
+runtime.  It wraps one :class:`~repro.environment.Environment` and exposes
+the Table-3 primitives (``policy_add`` / ``policy_get`` / filter objects)
+behind a fluent facade whose state is *scoped to that environment* — nothing
+a ``Resin`` instance does leaks into other environments in the process::
+
+    resin = Resin()                                   # fresh environment
+    pw = resin.taint("s3cret", PasswordPolicy("a@b.c"))
+    pw = resin.policy(PasswordPolicy, "a@b.c").on("s3cret")   # equivalent
+
+    resin.assertion("script-injection").install()     # this env only
+    resin.assertion("sql-injection", strategy="structure").install()
+
+    with resin.request(user="alice@b.c") as http:     # per-request channel
+        http.write(page_html)                         # buffered; discarded
+                                                      # if an assertion fires
+
+Table-3 name mapping (see ``docs/API.md`` for the full table):
+
+=====================================  =====================================
+Table 3 / free function                ``Resin`` facade
+=====================================  =====================================
+``policy_add(d, p)``                   ``resin.taint(d, p)``
+``policy_remove(d, p)``                ``resin.remove(d, p)``
+``policy_get(d)``                      ``resin.policies(d)``
+``untaint(d)``                         ``resin.declassify(d)``
+``set_default_filter_factory(t, f)``   ``resin.set_default_filter(t, f)``
+``reset_default_filters()``            ``resin.reset_filters()``
+channel constructors                   ``resin.channel(kind, ...)``
+``install_script_injection_assertion`` ``resin.assertion("script-injection")
+                                       .install()``
+=====================================  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Type
+
+from .core.api import (has_policy, policy_add, policy_get, policy_remove,
+                       taint as _taint, untaint as _untaint)
+from .core.exceptions import FilterError
+from .core.filter import Filter
+from .core.policy import Policy
+from .core.policyset import PolicySet
+from .core.registry import FilterRegistry
+from .environment import Environment
+
+__all__ = ["Resin", "BoundPolicy", "Assertion", "RequestScope"]
+
+
+class BoundPolicy:
+    """A policy class plus constructor arguments, ready to apply to data.
+
+    Built by :meth:`Resin.policy`; call :meth:`on` to attach a fresh policy
+    instance to a value (returning the annotated value), or :meth:`build` to
+    get the policy object itself.
+    """
+
+    def __init__(self, policy_cls: Type[Policy], *args: Any, **kwargs: Any):
+        if not (isinstance(policy_cls, type)
+                and issubclass(policy_cls, Policy)):
+            raise TypeError(
+                f"expected a Policy subclass, got {policy_cls!r}")
+        self.policy_cls = policy_cls
+        self.args = args
+        self.kwargs = kwargs
+
+    def build(self) -> Policy:
+        return self.policy_cls(*self.args, **self.kwargs)
+
+    def on(self, value: Any, start: int = 0,
+           stop: Optional[int] = None) -> Any:
+        """Attach a fresh policy instance to ``value`` (optionally to the
+        character/byte range ``[start, stop)``)."""
+        return policy_add(value, self.build(), start, stop)
+
+    def __repr__(self) -> str:
+        return f"BoundPolicy({self.policy_cls.__name__})"
+
+
+class Assertion:
+    """One named data-flow assertion, scoped to a ``Resin`` environment.
+
+    Built by :meth:`Resin.assertion`; :meth:`install` applies it.  Channel-
+    scoped assertions (XSS, response splitting, …) take the target channel —
+    or a :class:`~repro.web.app.WebApplication`, which stacks the filter on
+    every response — via ``on=``/``install(target)``.
+    """
+
+    def __init__(self, resin: "Resin", name: str, **options: Any):
+        if name not in _ASSERTIONS:
+            raise KeyError(
+                f"unknown assertion {name!r}; known: "
+                f"{', '.join(sorted(_ASSERTIONS))}")
+        self.resin = resin
+        self.name = name
+        self.options = dict(options)
+        self._installed_registries: list = []
+
+    def install(self, target: Any = None) -> "Assertion":
+        """Apply the assertion to this environment (or to ``target``)."""
+        registry = _ASSERTIONS[self.name](self.resin, target,
+                                          dict(self.options))
+        if registry is not None:
+            self._installed_registries.append(registry)
+        return self
+
+    def uninstall(self) -> None:
+        """Undo a registry-level assertion (currently: script-injection) on
+        every registry this ``Assertion`` object installed it on."""
+        if self.name != "script-injection":
+            raise FilterError(
+                f"assertion {self.name!r} stacks filters on channels and "
+                "cannot be uninstalled generically")
+        for registry in (self._installed_registries
+                         or [self.resin.registry]):
+            registry.reset("code")
+        self._installed_registries = []
+
+
+def _install_script_injection(resin: "Resin", target: Any,
+                              options: Dict[str, Any]):
+    from .security.assertions import install_script_injection_assertion
+    env = target if target is not None else resin.env
+    install_script_injection_assertion(env=env)
+    for path in options.get("approve", ()):
+        from .security.assertions import approve_code_file
+        approve_code_file(env.fs, path)
+    return env.registry
+
+
+def _install_sql_guard(resin: "Resin", target: Any,
+                       options: Dict[str, Any]) -> None:
+    from .security.assertions import SQLGuardFilter
+    db = target if target is not None else resin.env.db
+    db.add_filter(SQLGuardFilter(options.get("strategy", "structure")))
+
+
+def _install_sql_auto_sanitize(resin: "Resin", target: Any,
+                               options: Dict[str, Any]) -> None:
+    from .security.assertions import AutoSanitizingSQLFilter
+    db = target if target is not None else resin.env.db
+    db.add_filter(AutoSanitizingSQLFilter())
+
+
+def _channel_filter_installer(filter_factory: Callable[[Dict[str, Any]], Filter]):
+    def install(resin: "Resin", target: Any, options: Dict[str, Any]) -> None:
+        target = target if target is not None else options.get("on")
+        if target is None:
+            raise FilterError(
+                "this assertion guards a specific channel; pass the channel "
+                "(or a WebApplication) to install()")
+        flt = filter_factory(options)
+        add_response_filter = getattr(target, "add_response_filter", None)
+        if callable(add_response_filter):     # a WebApplication
+            add_response_filter(flt)
+        else:
+            target.add_filter(flt)
+    return install
+
+
+def _xss_filter(options: Dict[str, Any]) -> Filter:
+    from .security.assertions import HTMLGuardFilter, HTMLStructureGuardFilter
+    if options.get("strategy", "sanitizer") == "structure":
+        return HTMLStructureGuardFilter()
+    return HTMLGuardFilter()
+
+
+def _response_splitting_filter(options: Dict[str, Any]) -> Filter:
+    from .security.assertions import ResponseSplittingFilter
+    return ResponseSplittingFilter()
+
+
+def _json_filter(options: Dict[str, Any]) -> Filter:
+    from .security.assertions import JSONGuardFilter
+    return JSONGuardFilter()
+
+
+def _untrusted_input_filter(options: Dict[str, Any]) -> Filter:
+    from .security.assertions import UntrustedInputFilter
+    return UntrustedInputFilter(options.get("source", "socket"))
+
+
+#: name -> installer(resin, target, options)
+_ASSERTIONS: Dict[str, Callable[["Resin", Any, Dict[str, Any]], None]] = {
+    "script-injection": _install_script_injection,
+    "sql-injection": _install_sql_guard,
+    "sql-auto-sanitize": _install_sql_auto_sanitize,
+    "xss": _channel_filter_installer(_xss_filter),
+    "response-splitting": _channel_filter_installer(_response_splitting_filter),
+    "json-guard": _channel_filter_installer(_json_filter),
+    "untrusted-input": _channel_filter_installer(_untrusted_input_filter),
+}
+
+
+class RequestScope:
+    """Context manager for one request's boundary state.
+
+    ``__enter__`` creates a fresh HTTP output channel for the request's user,
+    pushes the user into the filesystem's request context (so persistent
+    write-access filters see it), and starts output buffering on the channel.
+    On clean exit the buffer is released to the browser; if an assertion (or
+    anything else) raises, the buffered output is discarded — the partial
+    page never crosses the boundary — and the exception propagates.
+    """
+
+    def __init__(self, resin: "Resin", user: Optional[str] = None,
+                 buffered: bool = True, priv_chair: bool = False,
+                 **context: Any):
+        self.resin = resin
+        self.user = user
+        self.buffered = buffered
+        self.priv_chair = priv_chair
+        self.context = context
+        self.http = None
+        self._saved_fs_context: Optional[Dict[str, Any]] = None
+
+    def __enter__(self):
+        env = self.resin.env
+        self.http = env.http_channel(user=self.user,
+                                     priv_chair=self.priv_chair,
+                                     **self.context)
+        # Save and restore (rather than clear) the fs request context, so
+        # nested scopes — or application code that scopes its own requests —
+        # hand the enclosing request its user back on exit.
+        self._saved_fs_context = dict(env.fs.request_context)
+        env.fs.set_request_context(user=self.user)
+        if self.buffered:
+            self.http.start_buffering()
+        return self.http
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        try:
+            if self.buffered:
+                if exc_type is None:
+                    self.http.release_buffer()
+                else:
+                    self.http.discard_buffer()
+        finally:
+            self.resin.env.fs.set_request_context(
+                **(self._saved_fs_context or {}))
+            self._saved_fs_context = None
+        return False
+
+
+class Resin:
+    """The fluent, environment-scoped runtime facade.
+
+    Wraps an :class:`~repro.environment.Environment` (creating a fresh one
+    when none is given); every operation resolves through that environment's
+    :class:`~repro.core.registry.FilterRegistry`, never through process-wide
+    state.
+    """
+
+    def __init__(self, env: Optional[Environment] = None, **env_kwargs: Any):
+        self.env = env if env is not None else Environment(**env_kwargs)
+
+    # -- handy substrate accessors ----------------------------------------------
+
+    @property
+    def registry(self) -> FilterRegistry:
+        return self.env.registry
+
+    @property
+    def fs(self):
+        return self.env.fs
+
+    @property
+    def db(self):
+        return self.env.db
+
+    @property
+    def mail(self):
+        return self.env.mail
+
+    @property
+    def interpreter(self):
+        return self.env.interpreter
+
+    # -- taint / policy primitives (Table 3) ------------------------------------
+
+    def taint(self, data: Any, *policies: Policy) -> Any:
+        """Attach one or more policy objects to ``data`` (``policy_add``)."""
+        return _taint(data, *policies)
+
+    def remove(self, data: Any, policy: Policy) -> Any:
+        """Remove ``policy`` from ``data``'s policy set (``policy_remove``)."""
+        return policy_remove(data, policy)
+
+    def policies(self, data: Any) -> PolicySet:
+        """The policy set of ``data`` (``policy_get``)."""
+        return policy_get(data)
+
+    def has_policy(self, data: Any, policy_type,
+                   *, every_char: bool = False) -> bool:
+        return has_policy(data, policy_type, every_char=every_char)
+
+    def declassify(self, data: Any) -> Any:
+        """A plain, policy-free copy of ``data`` (``untaint``).  Only
+        boundary code should call this."""
+        return _untaint(data)
+
+    def policy(self, policy_cls: Type[Policy], *args: Any,
+               **kwargs: Any) -> BoundPolicy:
+        """Fluent policy application: ``resin.policy(PasswordPolicy,
+        "a@b.c").on(password)``."""
+        return BoundPolicy(policy_cls, *args, **kwargs)
+
+    # -- channels ---------------------------------------------------------------
+
+    def channel(self, kind: str, *args: Any, **kwargs: Any):
+        """Create a channel of ``kind`` bound to this environment.
+
+        ``kind`` is one of ``"http"``, ``"socket"``, ``"pipe"``, ``"email"``,
+        ``"sql"``, ``"code"``; positional/keyword arguments match the
+        corresponding channel constructor (e.g. the recipient address for
+        ``"email"``, ``user=`` for ``"http"``).
+        """
+        env = self.env
+        if kind == "http":
+            return env.http_channel(*args, **kwargs)
+        if kind == "socket":
+            return env.socket(*args, **kwargs)
+        if kind == "pipe":
+            return env.pipe(*args, **kwargs)
+        if kind == "email":
+            from .channels.mail import EmailChannel
+            return EmailChannel(*args, env=env, **kwargs)
+        if kind == "sql":
+            if args or kwargs:
+                raise FilterError(
+                    "channel('sql') returns this environment's shared "
+                    "Database and takes no arguments; construct "
+                    "repro.channels.sqlchan.Database(registry=...) directly "
+                    "for a differently-configured connection")
+            return env.db
+        if kind == "code":
+            return env.interpreter.new_channel(*args, **kwargs)
+        raise FilterError(f"unknown channel kind {kind!r}")
+
+    # -- default-filter registry (scoped) ---------------------------------------
+
+    def set_default_filter(self, channel_type: str, factory) -> "Resin":
+        """Scoped equivalent of ``set_default_filter_factory``: affects only
+        channels created through this environment."""
+        self.registry.set_default_filter_factory(channel_type, factory)
+        return self
+
+    def reset_filters(self, channel_type: Optional[str] = None) -> "Resin":
+        """Scoped equivalent of ``reset_default_filters``."""
+        self.registry.reset(channel_type)
+        return self
+
+    # -- assertions -------------------------------------------------------------
+
+    def assertion(self, name: str, **options: Any) -> Assertion:
+        """A named assertion: ``resin.assertion("script-injection")
+        .install()``.  See :data:`_ASSERTIONS` for the catalogue."""
+        return Assertion(self, name, **options)
+
+    def approve_code(self, path: str,
+                     approved_by: str = "installer") -> "Resin":
+        """Tag a stored file as approved code (Figure 6's
+        ``make_file_executable``)."""
+        from .security.assertions import approve_code_file
+        approve_code_file(self.env.fs, path, approved_by)
+        return self
+
+    # -- request scoping --------------------------------------------------------
+
+    def request(self, user: Optional[str] = None, *, buffered: bool = True,
+                priv_chair: bool = False, **context: Any) -> RequestScope:
+        """Scope one request: ``with resin.request(user="alice") as http:``.
+
+        Yields a fresh, buffered HTTP output channel and propagates the user
+        into the filesystem request context for the duration of the block.
+        """
+        return RequestScope(self, user=user, buffered=buffered,
+                            priv_chair=priv_chair, **context)
+
+    def __repr__(self) -> str:
+        return f"Resin(registry={self.registry!r})"

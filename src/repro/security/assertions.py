@@ -307,14 +307,18 @@ def approve_code_file(fs, path: str, approved_by: str = "installer") -> None:
     fs.add_file_policy(path, CodeApproval(approved_by))
 
 
-def install_script_injection_assertion() -> None:
+def install_script_injection_assertion(env=None, registry=None) -> None:
     """Replace the interpreter's default input filter so that only approved
     code can be executed (step 3 of the Section 5.2 assertion).
 
-    The replacement is process-wide (the paper does it from a global
-    configuration file loaded before any application code); call
-    :func:`repro.core.reset_default_filters` to undo it.
+    Pass the application's environment (or its registry) to scope the
+    replacement to that environment — the normal deployment shape, one
+    assertion per tenant.  With neither argument the replacement is
+    *process-wide* (the paper's global-configuration-file shape, now
+    deprecated); call :func:`repro.core.reset_default_filters` to undo that
+    variant, or ``env.registry.reset("code")`` for the scoped one.
     """
-    from ..core.runtime import set_default_filter_factory
+    from ..core.registry import resolve_registry
     from ..interp.filters import InterpreterFilter
-    set_default_filter_factory("code", InterpreterFilter)
+    resolve_registry(registry, env).set_default_filter_factory(
+        "code", InterpreterFilter)

@@ -64,10 +64,13 @@ class WebApplication:
 
     def handle(self, request: Request) -> HTTPOutputChannel:
         """Process one request and return the response channel."""
-        response = HTTPOutputChannel({"url": request.path})
+        response = HTTPOutputChannel({"url": request.path}, env=self.env)
         response.set_user(request.user)
         for flt in self.response_filters:
             response.add_filter(flt)
+        # Save/restore rather than clear: handle() may run inside an
+        # enclosing request scope (Resin.request) whose user must come back.
+        saved_fs_context = dict(self.env.fs.request_context)
         self.env.fs.set_request_context(user=request.user)
         try:
             for hook in self.before_request:
@@ -86,7 +89,7 @@ class WebApplication:
             response.set_status(403)
             response.chunks.append(f"Forbidden: {exc}")
         finally:
-            self.env.fs.clear_request_context()
+            self.env.fs.set_request_context(**saved_fs_context)
         return response
 
     # -- static files (the RESIN-aware web server) ----------------------------------------------
