@@ -24,9 +24,10 @@ from .core import (AccessDenied, DeclassifyFilter, DefaultFilter,
                    DisclosureViolation, Filter, FilterChain, FilterContext,
                    FilterError, FilterRegistry, InjectionViolation,
                    MergeError, OutputBuffer, Policy, PolicySet,
-                   PolicyViolation, ResinError, ScriptInjectionViolation,
-                   check_export, default_registry, filter_of, guard_function,
-                   has_policy, policy_add, policy_get, policy_remove,
+                   PolicyViolation, RequestContext, ResinError,
+                   ScriptInjectionViolation, check_export, current_request,
+                   default_registry, filter_of, guard_function, has_policy,
+                   policy_add, policy_get, policy_remove,
                    register_policy_class, reset_default_filters,
                    set_default_filter_factory, taint, untaint)
 from .policies import (ACL, AuthenticData, CodeApproval, HTMLSanitized,
@@ -50,6 +51,8 @@ __all__ = [
     "register_policy_class",
     # scoped registry + fluent facade (the supported runtime API)
     "FilterRegistry", "default_registry", "Resin",
+    # per-request state + concurrent dispatch
+    "RequestContext", "current_request", "Dispatcher",
     # deprecated process-global shims (kept for pre-registry code)
     "set_default_filter_factory", "reset_default_filters",
     # exceptions
@@ -78,4 +81,7 @@ def __getattr__(name):
     if name == "Resin":
         from .runtime_api import Resin
         return Resin
+    if name == "Dispatcher":
+        from .server.dispatcher import Dispatcher
+        return Dispatcher
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -26,6 +26,7 @@ the malicious input arrives from a *whois server*, not from the browser.
 
 from __future__ import annotations
 
+import contextvars
 from typing import Dict, Iterable, List, Optional
 
 from ..channels.httpout import HTTPOutputChannel
@@ -40,8 +41,24 @@ from ..web.sanitize import html_escape, sql_quote
 
 #: The running board instance; ForumMessagePolicy consults it so that the
 #: assertion reuses the application's own access-control code (the way the
-#: paper's policies use globals like ``$Me``).
+#: paper's policies use globals like ``$Me``).  The context variable scopes
+#: the lookup per thread/context — concurrent evaluation runs each see the
+#: board they constructed, and a Dispatcher's context snapshot carries the
+#: submitting context's board to its workers.  ``CURRENT_BOARD`` remains as
+#: the process-wide fallback for code that never set the variable (plain
+#: threads outside any dispatcher).
+_BOARD_VAR: contextvars.ContextVar[Optional["PhpBB"]] = \
+    contextvars.ContextVar("phpbb_current_board", default=None)
 CURRENT_BOARD: Optional["PhpBB"] = None
+
+
+def current_board() -> Optional["PhpBB"]:
+    """The board the calling context is serving (contextvar first, then the
+    process-wide fallback)."""
+    board = _BOARD_VAR.get()
+    if board is not None:
+        return board
+    return CURRENT_BOARD
 
 
 class ForumMessagePolicy(Policy):
@@ -55,7 +72,7 @@ class ForumMessagePolicy(Policy):
     def export_check(self, context) -> None:
         if context.get("type") not in self.ENFORCED_TYPES:
             return
-        board = CURRENT_BOARD
+        board = current_board()
         if board is None:
             return
         user = context.get("user") or context.get("email")
@@ -79,6 +96,7 @@ class PhpBB:
         self.use_xss_assertion = use_xss_assertion
         self._setup_schema()
         CURRENT_BOARD = self
+        _BOARD_VAR.set(self)
 
     def _setup_schema(self) -> None:
         db = self.env.db

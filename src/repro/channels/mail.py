@@ -52,10 +52,13 @@ class MailTransport:
 
     def __init__(self, default_sender: str = "noreply@example.org", *,
                  registry=None, env=None):
+        import threading
+
         from ..core.registry import resolve_registry
         self.default_sender = default_sender
         self.registry = resolve_registry(registry, env)
         self.outbox: List[Message] = []
+        self._lock = threading.Lock()
 
     def send(self, to: str, subject: str, body,
              sender: Optional[str] = None) -> Message:
@@ -73,11 +76,14 @@ class MailTransport:
         channel.write(text)
         message = Message(to=to, subject=str(subject),
                           body=str(to_tainted_str(body)), sender=sender)
-        self.outbox.append(message)
+        with self._lock:
+            self.outbox.append(message)
         return message
 
     def sent_to(self, address: str) -> List[Message]:
-        return [m for m in self.outbox if m.to == address]
+        with self._lock:
+            return [m for m in self.outbox if m.to == address]
 
     def clear(self) -> None:
-        self.outbox.clear()
+        with self._lock:
+            self.outbox.clear()

@@ -24,6 +24,7 @@ from ..core.context import FilterContext
 from ..core.exceptions import SQLError
 from ..core.filter import Filter, FilterChain
 from ..core.registry import resolve_registry
+from ..core.request_context import current_request
 from ..core.serialization import (deserialize_policyset, deserialize_rangemap,
                                   serialize_policyset, serialize_rangemap)
 from ..sql import nodes
@@ -101,6 +102,7 @@ class Database:
                  context: Optional[dict] = None, *,
                  registry=None, env=None):
         self.engine = engine if engine is not None else Engine()
+        self.env = env
         ctx = FilterContext(type="sql")
         if context:
             ctx.update(context)
@@ -114,21 +116,57 @@ class Database:
 
     def add_filter(self, flt: Filter) -> None:
         """Stack an application filter (e.g. a SQL-injection assertion) on
-        the query path."""
+        the query path.
+
+        While a :class:`~repro.core.request_context.RequestContext` for this
+        database's environment is active, the filter joins that request's
+        *overlay*: it guards queries only for the duration of the request and
+        pops automatically when the request ends.  Outside a request — or on
+        a database the bound request's environment does not own — the filter
+        joins the base chain and guards every query for the life of the
+        connection (the pre-request-context behaviour — use this for
+        deployment-time assertions).
+        """
+        rctx = self._request()
+        if rctx is not None:
+            rctx.add_db_filter(self, flt)
+            return
         flt.context = self.context
         self.filter.append(flt)
+
+    def _request(self):
+        """The RequestContext owning this database, if one is bound.
+
+        The environment check keeps requests from capturing (and then
+        silently dropping) filters destined for some *other* environment's
+        database."""
+        rctx = current_request()
+        if (rctx is not None and self.env is not None
+                and rctx.env is self.env):
+            return rctx
+        return None
+
+    def _effective_chain(self) -> FilterChain:
+        """The base chain plus the current request's overlay (if any)."""
+        rctx = self._request()
+        overlay = rctx.db_filters(self) if rctx is not None else ()
+        if not overlay:
+            return self.filter
+        return FilterChain(list(self.filter.filters) + list(overlay),
+                           self.context)
 
     # -- query API -----------------------------------------------------------------------
 
     def query(self, sql) -> Result:
         """Issue one SQL statement.
 
-        The raw query text is passed through the channel's filter chain as a
+        The raw query text is passed through the channel's filter chain (the
+        base filters, then the current request's overlay filters) as a
         guarded function call before it is parsed and executed, so stacked
         filters see exactly what the application sent (including the
         character-level policies of any interpolated user input).
         """
-        return self.filter.filter_func(self._execute, (sql,), {})
+        return self._effective_chain().filter_func(self._execute, (sql,), {})
 
     def execute_unchecked(self, sql) -> Result:
         """Execute a statement bypassing stacked filters (still persisting
@@ -139,17 +177,22 @@ class Database:
 
     def _execute(self, sql) -> Result:
         statement = parse(sql) if isinstance(sql, str) else sql
-        if not self.persist_policies:
+        # Policy persistence is a read-modify-write sequence over the shared
+        # engine (inspect schema, add policy columns, execute); hold the
+        # engine lock across the whole statement so concurrent requests see
+        # consistent schemas.
+        with self.engine.lock:
+            if not self.persist_policies:
+                return self.engine.execute(statement)
+            if isinstance(statement, nodes.CreateTable):
+                return self._create(statement)
+            if isinstance(statement, nodes.Insert):
+                return self._insert(statement)
+            if isinstance(statement, nodes.Update):
+                return self._update(statement)
+            if isinstance(statement, nodes.Select):
+                return self._select(statement)
             return self.engine.execute(statement)
-        if isinstance(statement, nodes.CreateTable):
-            return self._create(statement)
-        if isinstance(statement, nodes.Insert):
-            return self._insert(statement)
-        if isinstance(statement, nodes.Update):
-            return self._update(statement)
-        if isinstance(statement, nodes.Select):
-            return self._select(statement)
-        return self.engine.execute(statement)
 
     def _create(self, stmt: nodes.CreateTable) -> Result:
         augmented_columns: List[nodes.ColumnDef] = []

@@ -14,6 +14,8 @@ from .policy import Policy
 from .policyset import PolicySet, as_policyset
 from .registry import (CHANNEL_TYPES, FilterRegistry, default_registry,
                        resolve_registry)
+from .request_context import (RequestContext, current_request,
+                              request_scoped_context)
 from .runtime import (OutputBuffer, check_export, make_default_filter,
                       reset_default_filters, set_default_filter_factory)
 from .serialization import (deserialize_policy, deserialize_policyset,
@@ -33,6 +35,8 @@ __all__ = [
     "guard_function", "filter_of", "FilterContext", "as_context",
     # registry
     "FilterRegistry", "default_registry", "resolve_registry", "CHANNEL_TYPES",
+    # request context
+    "RequestContext", "current_request", "request_scoped_context",
     # runtime (the *_default_filter* functions are deprecation shims over the
     # process-wide registry; prefer env.registry / the Resin facade)
     "OutputBuffer", "check_export", "make_default_filter",

@@ -22,6 +22,7 @@ environment through keeps its old behaviour.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from .context import FilterContext, as_context
@@ -45,11 +46,15 @@ def _builtin_factory(context: FilterContext) -> Filter:
 class FilterRegistry:
     """A scoped mapping from channel type to default filter factory."""
 
-    __slots__ = ("_factories", "parent")
+    __slots__ = ("_factories", "parent", "_lock")
 
     def __init__(self, parent: Optional["FilterRegistry"] = None):
         self._factories: Dict[str, FilterFactory] = {}
         self.parent = parent
+        # Registries are written at deployment time but read on every channel
+        # construction, possibly from many request threads; the lock keeps
+        # the writes atomic (reads stay lock-free — dict lookups are atomic).
+        self._lock = threading.Lock()
 
     # -- factory management ------------------------------------------------------
 
@@ -64,7 +69,8 @@ class FilterRegistry:
         """
         if not callable(factory):
             raise FilterError("filter factory must be callable")
-        self._factories[channel_type] = factory
+        with self._lock:
+            self._factories[channel_type] = factory
 
     def get_default_filter_factory(self, channel_type: str) -> FilterFactory:
         registry: Optional[FilterRegistry] = self
@@ -86,15 +92,17 @@ class FilterRegistry:
 
     def overrides(self) -> Tuple[str, ...]:
         """The channel types with a *local* factory override."""
-        return tuple(sorted(self._factories))
+        with self._lock:
+            return tuple(sorted(self._factories))
 
     def reset(self, channel_type: Optional[str] = None) -> None:
         """Drop this registry's local overrides (parent overrides, if any,
         become visible again).  With ``channel_type``, drop only that one."""
-        if channel_type is None:
-            self._factories.clear()
-        else:
-            self._factories.pop(channel_type, None)
+        with self._lock:
+            if channel_type is None:
+                self._factories.clear()
+            else:
+                self._factories.pop(channel_type, None)
 
     def child(self) -> "FilterRegistry":
         """A new registry that inherits from this one."""

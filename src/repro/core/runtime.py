@@ -20,6 +20,7 @@ entry point is :class:`repro.runtime_api.Resin`.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, List, Optional
 
 from .context import as_context
@@ -48,6 +49,11 @@ def set_default_filter_factory(channel_type: str,
     Prefer ``env.registry.set_default_filter_factory(...)`` — the scoped
     variant does not leak into other environments in the same process.
     """
+    warnings.warn(
+        "set_default_filter_factory() mutates the process-wide registry and "
+        "is deprecated; use env.registry.set_default_filter_factory(...) or "
+        "Resin.set_default_filter(...) for environment-scoped overrides",
+        DeprecationWarning, stacklevel=2)
     default_registry().set_default_filter_factory(channel_type, factory)
 
 
@@ -70,6 +76,11 @@ def reset_default_filters() -> None:
 
     Environment-scoped overrides (``env.registry``) are unaffected; reset
     those with ``env.registry.reset()``."""
+    warnings.warn(
+        "reset_default_filters() mutates the process-wide registry and is "
+        "deprecated; use env.registry.reset() or Resin.reset_filters() for "
+        "environment-scoped overrides",
+        DeprecationWarning, stacklevel=2)
     default_registry().reset()
 
 

@@ -39,9 +39,9 @@ class Environment:
         #: process-wide registry for channel types it does not override.
         self.registry = (registry if registry is not None
                          else FilterRegistry(parent=default_registry()))
-        self.fs = ResinFS(registry=self.registry)
+        self.fs = ResinFS(registry=self.registry, env=self)
         self.db = Database(Engine(), persist_policies=persist_policies,
-                           registry=self.registry)
+                           registry=self.registry, env=self)
         self.mail = MailTransport(registry=self.registry)
         self.sessions = SessionStore()
         self.interpreter = Interpreter(self)
@@ -70,15 +70,24 @@ class Environment:
 
     @property
     def http(self) -> HTTPOutputChannel:
-        """A lazily-created shared HTTP channel for quick demos.
+        """The current request's HTTP channel, or a shared demo channel.
 
-        Real applications create one channel per request via
-        :meth:`http_channel` (or ``Resin.request``); this shared one exists
-        so the README quickstart can say ``env.http.write(...)``.  Because it
-        is shared, user and policy state written to it accumulates across
-        scenarios — call :meth:`reset_http` between demo scenarios, or use
-        :meth:`http_channel` and keep one channel per request.
+        While a :class:`~repro.core.request_context.RequestContext` for this
+        environment is bound (``with resin.request(...)``, or inside a
+        dispatched ``WebApplication.handle``), this resolves to *that
+        request's* output channel — concurrent requests each see their own.
+
+        Outside any request it falls back to a lazily-created shared channel
+        so the README quickstart can say ``env.http.write(...)``.  Because
+        that fallback is shared, user and policy state written to it
+        accumulates across scenarios — call :meth:`reset_http` between demo
+        scenarios, or use :meth:`http_channel` and keep one channel per
+        request.
         """
+        from .core.request_context import current_request
+        rctx = current_request()
+        if rctx is not None and rctx.env is self and rctx.http is not None:
+            return rctx.http
         if self._shared_http is None:
             self._shared_http = self.http_channel()
         return self._shared_http

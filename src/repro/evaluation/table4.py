@@ -455,6 +455,32 @@ def run_all(use_resin: bool) -> List[RowResult]:
     return [run_scenario(s, use_resin) for s in SCENARIOS]
 
 
+def run_all_concurrent(use_resin: bool, workers: int = 16) -> List[RowResult]:
+    """Run every Table 4 scenario concurrently on a thread pool.
+
+    Each scenario owns its environment (and phpBB publishes its board through
+    a context variable), so N simultaneous attack suites don't leak taint or
+    policy state into each other; results come back in ``SCENARIOS`` order
+    and must match :func:`run_all` verdict-for-verdict.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+    with ThreadPoolExecutor(max_workers=workers,
+                            thread_name_prefix="table4") as pool:
+        futures = [pool.submit(run_scenario, scenario, use_resin)
+                   for scenario in SCENARIOS]
+        return [future.result() for future in futures]
+
+
+def verdicts(results: List[RowResult]) -> List[tuple]:
+    """A comparable per-scenario summary: (application, per-attack
+    (name, succeeded, blocked) tuples, legitimate_ok)."""
+    return [(row.application,
+             tuple((a.name, a.succeeded, a.blocked_by_policy)
+                   for a in row.attacks),
+             row.legitimate_ok)
+            for row in results]
+
+
 def format_table(protected: List[RowResult],
                  unprotected: List[RowResult]) -> str:
     """Render a Table 4-style report comparing the two configurations."""

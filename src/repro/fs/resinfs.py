@@ -24,12 +24,14 @@ how the paper's filters consult application state such as the current user.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Optional
 
 from ..core.context import FilterContext
 from ..core.exceptions import FileSystemError
 from ..core.filter import Filter
 from ..core.registry import resolve_registry
+from ..core.request_context import current_request
 from ..core.serialization import dumps_rangemap, loads_rangemap
 from ..tracking.tainted_bytes import TaintedBytes
 from ..tracking.tainted_str import TaintedStr
@@ -114,21 +116,54 @@ class ResinFS:
                  registry=None, env=None):
         self.raw = raw if raw is not None else FileSystem()
         self.registry = resolve_registry(registry, env)
-        self.request_context: Dict[str, Any] = {}
+        self.env = env
+        self._request_context: Dict[str, Any] = {}
+        #: Serializes data/xattr read-modify-write sequences (and the shared
+        #: persistent-filter context mutation in ``_prepare_filter``) so the
+        #: filesystem can be shared by concurrent requests.
+        self._lock = threading.RLock()
 
     # -- request context -------------------------------------------------------
+
+    def _active_request(self):
+        """The RequestContext owning this filesystem, if one is bound."""
+        rctx = current_request()
+        if (rctx is not None and rctx.env is not None
+                and getattr(rctx.env, "fs", None) is self):
+            return rctx
+        return None
+
+    @property
+    def request_context(self) -> Dict[str, Any]:
+        """The context persistent filters see for the *current* request.
+
+        While a :class:`~repro.core.request_context.RequestContext` for this
+        filesystem's environment is bound, this resolves to that request's
+        ``fs_context`` — each concurrent request sees only its own user.
+        Outside any request it falls back to the instance-level context (the
+        pre-request-context behaviour).
+        """
+        rctx = self._active_request()
+        if rctx is not None:
+            return rctx.fs_context
+        return self._request_context
 
     def set_request_context(self, **kwargs: Any) -> None:
         """Set context (e.g. ``user='alice'``) that persistent filters see.
 
         The web substrate calls this at the start of each request, so that a
         write-access filter can check the authenticated user the way the
-        paper's MoinMoin write-ACL filter does.
+        paper's MoinMoin write-ACL filter does.  Inside a bound
+        ``RequestContext`` the update is request-local.
         """
-        self.request_context = dict(kwargs)
+        rctx = self._active_request()
+        if rctx is not None:
+            rctx.fs_context = dict(kwargs)
+        else:
+            self._request_context = dict(kwargs)
 
     def clear_request_context(self) -> None:
-        self.request_context = {}
+        self.set_request_context()
 
     # -- persistent filters ------------------------------------------------------
 
@@ -226,10 +261,11 @@ class ResinFS:
 
     def read_bytes(self, path: str) -> TaintedBytes:
         path = fspath.normalize(path)
-        raw_data = self.raw.read_raw(path)
-        data = self._load_policies(path, raw_data)
-        data = self._invoke_persistent_read(path, data)
-        data = self._default_filter(path).filter_read(data)
+        with self._lock:
+            raw_data = self.raw.read_raw(path)
+            data = self._load_policies(path, raw_data)
+            data = self._invoke_persistent_read(path, data)
+            data = self._default_filter(path).filter_read(data)
         return data
 
     def read_text(self, path: str, encoding: str = "utf-8") -> TaintedStr:
@@ -242,15 +278,16 @@ class ResinFS:
                     else TaintedStr(data)).encode()
         elif not isinstance(data, TaintedBytes):
             data = TaintedBytes(bytes(data))
-        if not self.raw.exists(path):
-            self._check_directory_mutation("create", path)
-        data = self._default_filter(path).filter_write(data)
-        data = self._invoke_persistent_write(path, data)
-        if append and self.raw.exists(path):
-            existing = self._load_policies(path, self.raw.read_raw(path))
-            data = existing + data
-        self.raw.write_raw(path, bytes(data))
-        self._store_policies(path, data)
+        with self._lock:
+            if not self.raw.exists(path):
+                self._check_directory_mutation("create", path)
+            data = self._default_filter(path).filter_write(data)
+            data = self._invoke_persistent_write(path, data)
+            if append and self.raw.exists(path):
+                existing = self._load_policies(path, self.raw.read_raw(path))
+                data = existing + data
+            self.raw.write_raw(path, bytes(data))
+            self._store_policies(path, data)
 
     def write_text(self, path: str, text, append: bool = False,
                    encoding: str = "utf-8") -> None:
@@ -262,33 +299,38 @@ class ResinFS:
     def add_file_policy(self, path: str, policy) -> None:
         """Attach ``policy`` to every byte of an existing file (used by
         installers, e.g. ``make_file_executable`` in Figure 6)."""
-        data = self.read_bytes(path).with_policy(policy)
-        self.raw.write_raw(fspath.normalize(path), bytes(data))
-        self._store_policies(fspath.normalize(path), data)
+        with self._lock:
+            data = self.read_bytes(path).with_policy(policy)
+            self.raw.write_raw(fspath.normalize(path), bytes(data))
+            self._store_policies(fspath.normalize(path), data)
 
     def file_policies(self, path: str):
         """The policy set stored for a file (without reading it through the
         filters) — what a RESIN-aware web server consults before serving a
         static file."""
         path = fspath.normalize(path)
-        raw_data = self.raw.read_raw(path)
-        return self._load_policies(path, raw_data).policies()
+        with self._lock:
+            raw_data = self.raw.read_raw(path)
+            return self._load_policies(path, raw_data).policies()
 
     # -- namespace operations ---------------------------------------------------------------
 
     def mkdir(self, path: str, parents: bool = False) -> None:
-        self._check_directory_mutation("mkdir", fspath.normalize(path))
-        self.raw.mkdir(path, parents=parents)
+        with self._lock:
+            self._check_directory_mutation("mkdir", fspath.normalize(path))
+            self.raw.mkdir(path, parents=parents)
 
     def unlink(self, path: str) -> None:
-        self._check_directory_mutation("unlink", fspath.normalize(path))
-        self.raw.unlink(path)
+        with self._lock:
+            self._check_directory_mutation("unlink", fspath.normalize(path))
+            self.raw.unlink(path)
 
     def rename(self, src: str, dst: str) -> None:
-        self._check_directory_mutation("rename", fspath.normalize(src))
-        self._check_directory_mutation("rename", fspath.normalize(dst))
-        # Carry the source's persistent filter and policies along.
-        self.raw.rename(src, dst)
+        with self._lock:
+            self._check_directory_mutation("rename", fspath.normalize(src))
+            self._check_directory_mutation("rename", fspath.normalize(dst))
+            # Carry the source's persistent filter and policies along.
+            self.raw.rename(src, dst)
 
     def listdir(self, path: str) -> List[str]:
         return self.raw.listdir(path)

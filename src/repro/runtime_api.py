@@ -45,6 +45,7 @@ from .core.filter import Filter
 from .core.policy import Policy
 from .core.policyset import PolicySet
 from .core.registry import FilterRegistry
+from .core.request_context import RequestContext, current_request
 from .environment import Environment
 
 __all__ = ["Resin", "BoundPolicy", "Assertion", "RequestScope"]
@@ -198,12 +199,16 @@ _ASSERTIONS: Dict[str, Callable[["Resin", Any, Dict[str, Any]], None]] = {
 class RequestScope:
     """Context manager for one request's boundary state.
 
-    ``__enter__`` creates a fresh HTTP output channel for the request's user,
-    pushes the user into the filesystem's request context (so persistent
-    write-access filters see it), and starts output buffering on the channel.
-    On clean exit the buffer is released to the browser; if an assertion (or
-    anything else) raises, the buffered output is discarded — the partial
-    page never crosses the boundary — and the exception propagates.
+    ``__enter__`` binds a fresh
+    :class:`~repro.core.request_context.RequestContext` to the calling
+    thread, creates an HTTP output channel for the request's user, pushes the
+    user into the (request-local) filesystem context, and starts output
+    buffering on the channel.  Filters installed on the environment's
+    database while the scope is active join the request's overlay and pop on
+    exit.  On clean exit the buffer is released to the browser; if an
+    assertion (or anything else) raises, the buffered output is discarded —
+    the partial page never crosses the boundary — and the exception
+    propagates.
     """
 
     def __init__(self, resin: "Resin", user: Optional[str] = None,
@@ -215,20 +220,30 @@ class RequestScope:
         self.priv_chair = priv_chair
         self.context = context
         self.http = None
-        self._saved_fs_context: Optional[Dict[str, Any]] = None
+        self.request_context: Optional[RequestContext] = None
 
     def __enter__(self):
         env = self.resin.env
-        self.http = env.http_channel(user=self.user,
-                                     priv_chair=self.priv_chair,
-                                     **self.context)
-        # Save and restore (rather than clear) the fs request context, so
-        # nested scopes — or application code that scopes its own requests —
-        # hand the enclosing request its user back on exit.
-        self._saved_fs_context = dict(env.fs.request_context)
-        env.fs.set_request_context(user=self.user)
-        if self.buffered:
-            self.http.start_buffering()
+        # Binding the RequestContext (a contextvar) replaces the old
+        # save/mutate/restore dance on shared substrate attributes: nested
+        # scopes — or application code that scopes its own requests — get
+        # the enclosing request's state back automatically on exit, and
+        # concurrent requests on other threads are never disturbed.
+        self.request_context = RequestContext(
+            env=env, user=self.user, priv_chair=self.priv_chair,
+            **self.context)
+        self.request_context.__enter__()
+        try:
+            self.http = env.http_channel(user=self.user,
+                                         priv_chair=self.priv_chair,
+                                         **self.context)
+            self.request_context.http = self.http
+            if self.buffered:
+                self.http.start_buffering()
+        except BaseException:
+            self.request_context.__exit__(None, None, None)
+            self.request_context = None
+            raise
         return self.http
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -239,9 +254,9 @@ class RequestScope:
                 else:
                     self.http.discard_buffer()
         finally:
-            self.resin.env.fs.set_request_context(
-                **(self._saved_fs_context or {}))
-            self._saved_fs_context = None
+            if self.request_context is not None:
+                self.request_context.__exit__(exc_type, exc, tb)
+                self.request_context = None
         return False
 
 
@@ -379,6 +394,22 @@ class Resin:
         """
         return RequestScope(self, user=user, buffered=buffered,
                             priv_chair=priv_chair, **context)
+
+    @property
+    def current_request(self) -> Optional[RequestContext]:
+        """The :class:`~repro.core.request_context.RequestContext` bound to
+        the calling thread for *this* environment, or ``None``."""
+        rctx = current_request()
+        if rctx is not None and rctx.env is self.env:
+            return rctx
+        return None
+
+    def dispatcher(self, app, workers: int = 4):
+        """A concurrent :class:`~repro.server.dispatcher.Dispatcher` serving
+        ``app`` (a :class:`~repro.web.app.WebApplication`) from this
+        environment with ``workers`` threads."""
+        from .server.dispatcher import Dispatcher
+        return Dispatcher(app, workers=workers, resin=self)
 
     def __repr__(self) -> str:
         return f"Resin(registry={self.registry!r})"

@@ -17,6 +17,7 @@ from typing import Any, Callable, Iterable, Optional
 
 from ..core.exceptions import AccessDenied, InjectionViolation
 from ..core.filter import Filter
+from ..core.request_context import request_scoped_context
 from ..policies.acl import ACL
 from ..policies.code_approval import CodeApproval
 from ..policies.untrusted import HTMLSanitized, SQLSanitized, UntrustedData
@@ -102,7 +103,7 @@ class SQLGuardFilter(Filter):
                 raise InjectionViolation(
                     "unsanitized user input in SQL query near "
                     f"{str(sql)[rng.start:rng.stop][:40]!r}",
-                    context=self.context)
+                    context=request_scoped_context(self.context))
 
     def _check_structure(self, sql: TaintedStr) -> None:
         from ..sql.tokenizer import NUMBER
@@ -116,7 +117,8 @@ class SQLGuardFilter(Filter):
             if isinstance(text, TaintedStr) and text.has_policy_type(UntrustedData):
                 raise InjectionViolation(
                     "user input reached SQL query structure near "
-                    f"{str(text)[:40]!r}", context=self.context)
+                    f"{str(text)[:40]!r}",
+                    context=request_scoped_context(self.context))
 
 
 class HTMLGuardFilter(Filter):

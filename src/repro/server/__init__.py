@@ -1,0 +1,11 @@
+"""Concurrent request serving.
+
+:class:`~repro.server.dispatcher.Dispatcher` runs a
+:class:`~repro.web.app.WebApplication` on a thread pool, binding each request
+to its own :class:`~repro.core.request_context.RequestContext` over the
+shared environment.
+"""
+
+from .dispatcher import Dispatcher
+
+__all__ = ["Dispatcher"]

@@ -10,6 +10,7 @@ layer up, in :class:`repro.channels.sqlchan.Database`.
 from __future__ import annotations
 
 import re
+import threading
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from ..core.exceptions import SQLError
@@ -83,10 +84,19 @@ class Table:
 
 
 class Engine:
-    """The in-memory database engine."""
+    """The in-memory database engine.
+
+    The engine is shared by every request of an environment, so statement
+    execution is serialized through :attr:`lock` (a reentrant lock —
+    :class:`repro.channels.sqlchan.Database` holds it across the multi-step
+    read-modify-write sequences of policy persistence).
+    """
 
     def __init__(self):
         self.tables: Dict[str, Table] = {}
+        #: Guards all table reads and mutations.  Reentrant so the policy
+        #: persistence layer can hold it across compound operations.
+        self.lock = threading.RLock()
 
     # -- public API -------------------------------------------------------------
 
@@ -94,18 +104,19 @@ class Engine:
         """Execute a SQL string or a parsed statement."""
         if isinstance(statement, str):
             statement = parse(statement)
-        if isinstance(statement, nodes.CreateTable):
-            return self._create(statement)
-        if isinstance(statement, nodes.DropTable):
-            return self._drop(statement)
-        if isinstance(statement, nodes.Insert):
-            return self._insert(statement)
-        if isinstance(statement, nodes.Select):
-            return self._select(statement)
-        if isinstance(statement, nodes.Update):
-            return self._update(statement)
-        if isinstance(statement, nodes.Delete):
-            return self._delete(statement)
+        with self.lock:
+            if isinstance(statement, nodes.CreateTable):
+                return self._create(statement)
+            if isinstance(statement, nodes.DropTable):
+                return self._drop(statement)
+            if isinstance(statement, nodes.Insert):
+                return self._insert(statement)
+            if isinstance(statement, nodes.Select):
+                return self._select(statement)
+            if isinstance(statement, nodes.Update):
+                return self._update(statement)
+            if isinstance(statement, nodes.Delete):
+                return self._delete(statement)
         raise SQLError(f"cannot execute {type(statement).__name__}")
 
     def table(self, name: str) -> Table:

@@ -12,11 +12,13 @@ rather than served raw.
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..channels.httpout import HTTPOutputChannel
 from ..core.exceptions import HTTPError, PolicyViolation
 from ..core.filter import Filter
+from ..core.request_context import RequestContext, current_request
 from ..fs import path as fspath
 from .request import Request
 
@@ -57,20 +59,39 @@ class WebApplication:
         self.static_mounts.append((url_prefix.rstrip("/"), directory))
 
     def add_response_filter(self, flt: Filter) -> None:
-        """Stack a filter on every response channel (e.g. an XSS filter)."""
+        """Stack a filter on every response channel (e.g. an XSS filter).
+
+        Each response gets its own shallow copy of the filter, so that
+        concurrent requests never share a mutable filter context.
+        """
         self.response_filters.append(flt)
 
     # -- request handling ------------------------------------------------------------------
 
     def handle(self, request: Request) -> HTTPOutputChannel:
-        """Process one request and return the response channel."""
+        """Process one request and return the response channel.
+
+        The request runs inside a
+        :class:`~repro.core.request_context.RequestContext`: either the one a
+        :class:`~repro.server.dispatcher.Dispatcher` already bound for this
+        very request, or a fresh one nested inside whatever scope the caller
+        holds (``Resin.request`` blocks hand their user back on return).
+        """
+        rctx = current_request()
+        if (rctx is not None and rctx.request is request
+                and rctx.env is self.env):
+            return self._handle(request, rctx)
+        with RequestContext(env=self.env, user=request.user,
+                            request=request) as rctx:
+            return self._handle(request, rctx)
+
+    def _handle(self, request: Request,
+                rctx: RequestContext) -> HTTPOutputChannel:
         response = HTTPOutputChannel({"url": request.path}, env=self.env)
         response.set_user(request.user)
+        rctx.http = response
         for flt in self.response_filters:
-            response.add_filter(flt)
-        # Save/restore rather than clear: handle() may run inside an
-        # enclosing request scope (Resin.request) whose user must come back.
-        saved_fs_context = dict(self.env.fs.request_context)
+            response.add_filter(copy.copy(flt))
         self.env.fs.set_request_context(user=request.user)
         try:
             for hook in self.before_request:
@@ -88,8 +109,6 @@ class WebApplication:
                 raise
             response.set_status(403)
             response.chunks.append(f"Forbidden: {exc}")
-        finally:
-            self.env.fs.set_request_context(**saved_fs_context)
         return response
 
     # -- static files (the RESIN-aware web server) ----------------------------------------------

@@ -9,6 +9,7 @@ user through a session cookie).
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Any, Dict, Optional
 
 
@@ -34,6 +35,7 @@ class SessionStore:
     def __init__(self):
         self._sessions: Dict[str, Session] = {}
         self._counter = itertools.count(1)
+        self._lock = threading.Lock()
 
     def create(self, user: Optional[str] = None, **data: Any) -> Session:
         sid = f"sess-{next(self._counter):06d}"
@@ -41,16 +43,19 @@ class SessionStore:
         if user is not None:
             session.user = user
         session.update(data)
-        self._sessions[sid] = session
+        with self._lock:
+            self._sessions[sid] = session
         return session
 
     def get(self, sid: Optional[str]) -> Optional[Session]:
         if sid is None:
             return None
-        return self._sessions.get(sid)
+        with self._lock:
+            return self._sessions.get(sid)
 
     def destroy(self, sid: str) -> None:
-        self._sessions.pop(sid, None)
+        with self._lock:
+            self._sessions.pop(sid, None)
 
     def __len__(self) -> int:
         return len(self._sessions)

@@ -93,7 +93,8 @@ class TestConcurrentEnvironments:
             assert scoped.interpreter.globals["ran"]
         finally:
             from repro.core import reset_default_filters
-            reset_default_filters()
+            with pytest.warns(DeprecationWarning):
+                reset_default_filters()
 
     def test_mail_and_db_resolve_through_owning_environment(self):
         """Substrate channels (email, sql) also consult their environment's

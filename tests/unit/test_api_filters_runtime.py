@@ -171,22 +171,27 @@ class TestDefaultFilterRegistry:
         assert flt.context["email"] == "a@b.c"
 
     def test_factory_override_and_reset(self):
+        # This test exercises the deprecated process-global path on purpose.
         class Custom(Filter):
             pass
 
-        set_default_filter_factory("socket", Custom)
+        with pytest.warns(DeprecationWarning):
+            set_default_filter_factory("socket", Custom)
         assert isinstance(make_default_filter("socket"), Custom)
-        reset_default_filters()
+        with pytest.warns(DeprecationWarning):
+            reset_default_filters()
         assert isinstance(make_default_filter("socket"), DefaultFilter)
 
     def test_factory_must_return_filter(self):
-        set_default_filter_factory("socket", lambda ctx: "nope")
+        with pytest.warns(DeprecationWarning):
+            set_default_filter_factory("socket", lambda ctx: "nope")
         with pytest.raises(FilterError):
             make_default_filter("socket")
-        reset_default_filters()
+        with pytest.warns(DeprecationWarning):
+            reset_default_filters()
 
     def test_factory_must_be_callable(self):
-        with pytest.raises(FilterError):
+        with pytest.raises(FilterError), pytest.warns(DeprecationWarning):
             set_default_filter_factory("socket", "nope")
 
 

@@ -130,8 +130,13 @@ class TestContextMergeRegression:
 
 
 class TestDeprecationShims:
+    # These tests exercise the deprecated process-global path on purpose;
+    # pytest.warns both asserts the DeprecationWarning and keeps it out of
+    # the warning summary.
+
     def test_free_functions_hit_process_registry(self):
-        set_default_filter_factory("socket", Custom)
+        with pytest.warns(DeprecationWarning):
+            set_default_filter_factory("socket", Custom)
         try:
             assert isinstance(make_default_filter("socket"), Custom)
             assert default_registry().has_override("socket")
@@ -139,16 +144,33 @@ class TestDeprecationShims:
             # registry (pre-registry behaviour).
             assert isinstance(SocketChannel().filter.filters[0], Custom)
         finally:
-            reset_default_filters()
+            with pytest.warns(DeprecationWarning):
+                reset_default_filters()
         assert isinstance(make_default_filter("socket"), DefaultFilter)
 
     def test_environment_inherits_process_overrides(self):
-        set_default_filter_factory("socket", Custom)
+        with pytest.warns(DeprecationWarning):
+            set_default_filter_factory("socket", Custom)
         try:
             env = Environment()
             assert isinstance(env.socket().filter.filters[0], Custom)
         finally:
+            with pytest.warns(DeprecationWarning):
+                reset_default_filters()
+
+    def test_shims_emit_deprecation_warnings(self):
+        """The ROADMAP migration step: the process-global mutators now warn."""
+        with pytest.warns(DeprecationWarning, match="process-wide"):
+            set_default_filter_factory("socket", Custom)
+        with pytest.warns(DeprecationWarning, match="process-wide"):
             reset_default_filters()
+        # The scoped equivalents stay silent.
+        import warnings as _warnings
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            env = Environment()
+            env.registry.set_default_filter_factory("socket", Custom)
+            env.registry.reset()
 
     def test_environment_override_does_not_leak_to_process(self):
         env = Environment()
