@@ -14,11 +14,8 @@ for each run.
 """
 
 import time
-
 import pytest
-
 from repro.environment import Environment
-from repro.policies.untrusted import UntrustedData
 from repro.server.dispatcher import Dispatcher
 from repro.tracking.propagation import concat
 from repro.web.app import WebApplication

@@ -28,8 +28,7 @@ from .core import (AccessDenied, DeclassifyFilter, DefaultFilter,
                    ScriptInjectionViolation, check_export, current_request,
                    default_registry, filter_of, guard_function, has_policy,
                    policy_add, policy_get, policy_remove,
-                   register_policy_class, reset_default_filters,
-                   set_default_filter_factory, taint, untaint)
+                   register_policy_class, taint, untaint)
 from .policies import (ACL, AuthenticData, CodeApproval, HTMLSanitized,
                        JSONSanitized, PagePolicy, PasswordPolicy,
                        ReadAccessPolicy, SecretPolicy, SQLSanitized,
@@ -52,9 +51,7 @@ __all__ = [
     # scoped registry + fluent facade (the supported runtime API)
     "FilterRegistry", "default_registry", "Resin",
     # per-request state + concurrent dispatch
-    "RequestContext", "current_request", "Dispatcher",
-    # deprecated process-global shims (kept for pre-registry code)
-    "set_default_filter_factory", "reset_default_filters",
+    "RequestContext", "current_request", "Dispatcher", "AsyncDispatcher",
     # exceptions
     "ResinError", "PolicyViolation", "AccessDenied", "DisclosureViolation",
     "InjectionViolation", "ScriptInjectionViolation", "MergeError",
@@ -84,4 +81,7 @@ def __getattr__(name):
     if name == "Dispatcher":
         from .server.dispatcher import Dispatcher
         return Dispatcher
+    if name == "AsyncDispatcher":
+        from .server.async_dispatcher import AsyncDispatcher
+        return AsyncDispatcher
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..core.exceptions import FileSystemError, HTTPError
+from ..core.exceptions import HTTPError
 from ..environment import Environment
 from ..fs import path as fspath
 from ..runtime_api import Resin

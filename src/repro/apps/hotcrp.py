@@ -22,16 +22,16 @@ assertions.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..channels.httpout import HTTPOutputChannel
-from ..core.exceptions import AccessDenied, DisclosureViolation, PolicyViolation
+from ..core.exceptions import AccessDenied, PolicyViolation
 from ..core.policy import Policy
 from ..environment import Environment
 from ..policies.password import PasswordPolicy
 from ..runtime_api import Resin
 from ..tracking.propagation import concat, to_tainted_str
-from ..web.sanitize import html_escape, sql_quote
+from ..web.sanitize import sql_quote
 
 
 class PaperPolicy(Policy):

@@ -26,7 +26,7 @@ single read assertion when RESIN is enabled.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional
+from typing import Optional
 
 from ..channels.httpout import HTTPOutputChannel
 from ..core.exceptions import AccessDenied, HTTPError

@@ -27,7 +27,7 @@ the malicious input arrives from a *whois server*, not from the browser.
 from __future__ import annotations
 
 import contextvars
-from typing import Dict, Iterable, List, Optional
+from typing import Iterable, Optional
 
 from ..channels.httpout import HTTPOutputChannel
 from ..channels.socketchan import SocketChannel

@@ -20,10 +20,9 @@ Uploaded files never get the policy, so the interpreter refuses to run them
 """
 
 from __future__ import annotations
-
 from typing import List, Optional
 
-from ..core.exceptions import HTTPError
+
 from ..environment import Environment
 from ..fs import path as fspath
 from ..runtime_api import Resin

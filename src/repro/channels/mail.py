@@ -7,10 +7,9 @@ owner's address and nowhere else.
 """
 
 from __future__ import annotations
-
 from typing import List, Optional
 
-from ..core.exceptions import PolicyViolation
+
 from ..tracking.propagation import concat, to_tainted_str
 from .base import CollectingChannel
 

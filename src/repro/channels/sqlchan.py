@@ -16,12 +16,9 @@ application-supplied SQL-injection filter interposes (Section 5.3).
 """
 
 from __future__ import annotations
-
 import json
 from typing import Any, List, Optional
-
 from ..core.context import FilterContext
-from ..core.exceptions import SQLError
 from ..core.filter import Filter, FilterChain
 from ..core.registry import resolve_registry
 from ..core.request_context import current_request
@@ -104,6 +101,10 @@ class Database:
         self.engine = engine if engine is not None else Engine()
         self.env = env
         ctx = FilterContext(type="sql")
+        # Carried as an attribute (never printed in violation messages):
+        # lets request-scoped helpers ignore requests bound for other
+        # environments.
+        ctx.env = env
         if context:
             ctx.update(context)
         self.registry = resolve_registry(registry, env)
@@ -173,15 +174,36 @@ class Database:
         policies).  Intended for schema setup in tests and installers."""
         return self._execute(sql)
 
+    def transaction(self, *tables: str):
+        """Hold the locks of ``tables`` across a compound operation.
+
+        Use this for application-level read-modify-write sequences that span
+        several queries (check then update, move a row between tables, …):
+        the named tables stay consistent for the whole block while queries
+        against *other* tables proceed concurrently.  The locks are acquired
+        in deterministic (sorted-name) order — the engine's lock-ordering
+        rule — so overlapping transactions never deadlock.  Name every
+        table the block touches: a query inside the block against a table
+        that sorts before the held set would break the ordering, and the
+        engine raises ``SQLError`` rather than risk a deadlock::
+
+            with db.transaction("accounts", "audit_log"):
+                balance = db.query("SELECT ... FROM accounts ...").scalar()
+                db.query(f"UPDATE accounts SET ...")
+                db.query(f"INSERT INTO audit_log ...")
+        """
+        return self.engine.locked(*tables)
+
     # -- execution with policy persistence ---------------------------------------------------
 
     def _execute(self, sql) -> Result:
         statement = parse(sql) if isinstance(sql, str) else sql
         # Policy persistence is a read-modify-write sequence over the shared
         # engine (inspect schema, add policy columns, execute); hold the
-        # engine lock across the whole statement so concurrent requests see
-        # consistent schemas.
-        with self.engine.lock:
+        # locks of exactly the tables this statement touches across the
+        # whole sequence, so concurrent requests see consistent schemas
+        # while statements on independent tables run in parallel.
+        with self.engine.locked(*self.engine.statement_tables(statement)):
             if not self.persist_policies:
                 return self.engine.execute(statement)
             if isinstance(statement, nodes.CreateTable):

@@ -16,8 +16,7 @@ from .registry import (CHANNEL_TYPES, FilterRegistry, default_registry,
                        resolve_registry)
 from .request_context import (RequestContext, current_request,
                               request_scoped_context)
-from .runtime import (OutputBuffer, check_export, make_default_filter,
-                      reset_default_filters, set_default_filter_factory)
+from .runtime import OutputBuffer, check_export, make_default_filter
 from .serialization import (deserialize_policy, deserialize_policyset,
                             deserialize_rangemap, dumps_policyset,
                             dumps_rangemap, loads_policyset, loads_rangemap,
@@ -37,10 +36,9 @@ __all__ = [
     "FilterRegistry", "default_registry", "resolve_registry", "CHANNEL_TYPES",
     # request context
     "RequestContext", "current_request", "request_scoped_context",
-    # runtime (the *_default_filter* functions are deprecation shims over the
-    # process-wide registry; prefer env.registry / the Resin facade)
+    # runtime (make_default_filter resolves against the process-wide
+    # registry; prefer env.registry / the Resin facade)
     "OutputBuffer", "check_export", "make_default_filter",
-    "set_default_filter_factory", "reset_default_filters",
     # serialization
     "register_policy_class", "serialize_policy", "deserialize_policy",
     "serialize_policyset", "deserialize_policyset", "serialize_rangemap",

@@ -10,7 +10,7 @@ own key/value pairs.  The context is passed as the argument to every
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, Mapping, Optional
+from typing import Any, Mapping, Optional
 
 
 class FilterContext(dict):
@@ -29,7 +29,15 @@ class FilterContext(dict):
         Path of a file channel.
     ``url``
         Request URL of an HTTP channel.
+
+    A context may additionally carry the :class:`~repro.environment
+    .Environment` that owns its channel in the :attr:`env` *attribute* (not
+    a mapping key, so it never appears in violation messages).  Request-
+    scoped helpers use it to ignore requests bound for other environments.
     """
+
+    #: The environment owning this context's channel, if known.
+    env: Any = None
 
     def __init__(self, type: Optional[str] = None, **kwargs: Any):
         super().__init__()

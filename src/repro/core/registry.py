@@ -10,20 +10,21 @@ replaced the ``code``-channel filter for *every* tenant.
 registry; every channel constructor resolves its default filter through the
 registry of the environment that created it.  Registries form a lookup
 chain: a registry that has no local factory for a channel type delegates to
-its ``parent`` (by default the process-wide registry behind the deprecated
-free functions), and finally falls back to the built-in
-:class:`~repro.core.filter.DefaultFilter`.
+its ``parent`` (by default the process-wide registry), and finally falls
+back to the built-in :class:`~repro.core.filter.DefaultFilter`.
 
 The process-wide registry still exists — :func:`default_registry` returns
-it — so the old free functions (``repro.set_default_filter_factory`` and
-friends) keep working as deprecation shims, and code that never threads an
-environment through keeps its old behaviour.
+it — as the root of every chain and the home of process-wide deployment
+configuration.  The deprecated free-function mutators over it
+(``set_default_filter_factory`` / ``reset_default_filters``) have been
+removed; mutate it explicitly via ``default_registry()`` when that shape is
+really wanted.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, Iterator, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from .context import FilterContext, as_context
 from .exceptions import FilterError

@@ -57,8 +57,17 @@ def request_scoped_context(context) -> FilterContext:
     asking.  When such a filter needs to report or decide per-request, this
     helper overlays the current request's ``user`` (without mutating the
     shared context object).
+
+    When the context carries its owning environment (``context.env``, set by
+    the channel that built it), a request bound for a *different*
+    environment is ignored — its principal must not be misattributed to
+    this environment's violations (the same env check the substrates apply).
     """
     rctx = current_request()
+    ctx_env = getattr(context, "env", None)
+    if (rctx is not None and ctx_env is not None
+            and rctx.env is not ctx_env):
+        rctx = None
     if rctx is None:
         ctx = context
         if not isinstance(ctx, FilterContext):
@@ -146,6 +155,16 @@ class RequestContext:
         if token is not None:
             _current.reset(token)
         return False
+
+    # contextvars compose with asyncio tasks the same way they do with
+    # threads, so the async form just delegates: ``async with
+    # RequestContext(...)`` binds the context to the running task (and to
+    # nothing else — sibling tasks keep their own bindings).
+    async def __aenter__(self) -> "RequestContext":
+        return self.__enter__()
+
+    async def __aexit__(self, exc_type, exc, tb) -> bool:
+        return self.__exit__(exc_type, exc, tb)
 
     def __repr__(self) -> str:
         state = "active" if self.active else "inactive"

@@ -8,10 +8,12 @@ with exception handling (Section 5.5).
 The registry of default filter factories (Section 3.2.1) lives in
 :mod:`repro.core.registry` and is *environment-scoped*: each
 :class:`~repro.environment.Environment` owns a
-:class:`~repro.core.registry.FilterRegistry`.  The module-level functions
-below (``set_default_filter_factory`` and friends) are kept as deprecation
-shims over the process-wide default registry for code written against the
-pre-registry API.
+:class:`~repro.core.registry.FilterRegistry`.  The deprecated process-wide
+mutators (``set_default_filter_factory`` / ``reset_default_filters``) have
+been removed — use ``env.registry.set_default_filter_factory(...)`` /
+``env.registry.reset()`` or the :class:`~repro.runtime_api.Resin` facade.
+The read-only module-level helpers below resolve against the process-wide
+default registry that every environment registry chains to.
 
 The full "environment" — filesystem + database + mail + HTTP output + code
 interpreter wired together — lives in :mod:`repro.environment`; the fluent
@@ -20,7 +22,6 @@ entry point is :class:`repro.runtime_api.Resin`.
 
 from __future__ import annotations
 
-import warnings
 from typing import Any, Callable, List, Optional
 
 from .context import as_context
@@ -30,58 +31,29 @@ from .registry import (CHANNEL_TYPES, FilterFactory,  # noqa: F401 (re-export)
                        default_registry)
 
 __all__ = [
-    "set_default_filter_factory", "get_default_filter_factory",
-    "make_default_filter", "reset_default_filters", "check_export",
+    "get_default_filter_factory", "make_default_filter", "check_export",
     "OutputBuffer", "CHANNEL_TYPES",
 ]
 
 
-# -- deprecation shims over the process-wide registry ---------------------------
+# -- read-only helpers over the process-wide registry ---------------------------
 #
-# These mutate *process-global* state and therefore make concurrent
-# environments interfere.  New code should call the same-named methods on an
-# Environment's ``registry`` (or use the ``Resin`` facade) instead.
-
-def set_default_filter_factory(channel_type: str,
-                               factory: FilterFactory) -> None:
-    """Deprecated shim: override a default filter factory *process-wide*.
-
-    Prefer ``env.registry.set_default_filter_factory(...)`` — the scoped
-    variant does not leak into other environments in the same process.
-    """
-    warnings.warn(
-        "set_default_filter_factory() mutates the process-wide registry and "
-        "is deprecated; use env.registry.set_default_filter_factory(...) or "
-        "Resin.set_default_filter(...) for environment-scoped overrides",
-        DeprecationWarning, stacklevel=2)
-    default_registry().set_default_filter_factory(channel_type, factory)
-
+# The matching *mutators* (set_default_filter_factory /
+# reset_default_filters) were removed after a deprecation cycle: they made
+# concurrent environments interfere.  Mutate an Environment's ``registry``
+# (or use the ``Resin`` facade) instead.
 
 def get_default_filter_factory(channel_type: str) -> FilterFactory:
-    """Deprecated shim: resolve a factory from the process-wide registry."""
+    """Resolve a factory from the process-wide registry."""
     return default_registry().get_default_filter_factory(channel_type)
 
 
 def make_default_filter(channel_type: str,
                         context: Optional[dict] = None) -> Filter:
-    """Deprecated shim: build a default filter from the process-wide
-    registry.  Channels owned by an environment resolve through the
-    environment's registry instead."""
+    """Build a default filter from the process-wide registry.  Channels
+    owned by an environment resolve through the environment's registry
+    instead."""
     return default_registry().make_default_filter(channel_type, context)
-
-
-def reset_default_filters() -> None:
-    """Deprecated shim: restore the built-in default filter on every channel
-    type in the *process-wide* registry.
-
-    Environment-scoped overrides (``env.registry``) are unaffected; reset
-    those with ``env.registry.reset()``."""
-    warnings.warn(
-        "reset_default_filters() mutates the process-wide registry and is "
-        "deprecated; use env.registry.reset() or Resin.reset_filters() for "
-        "environment-scoped overrides",
-        DeprecationWarning, stacklevel=2)
-    default_registry().reset()
 
 
 def check_export(data: Any, context: Optional[dict] = None) -> Any:

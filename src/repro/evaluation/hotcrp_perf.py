@@ -12,7 +12,7 @@ the measured overhead ratio next to the paper's 1.33×.
 
 from __future__ import annotations
 
-from typing import Optional
+
 
 from ..apps.hotcrp import HotCRP
 from ..environment import Environment

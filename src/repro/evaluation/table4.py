@@ -15,7 +15,7 @@ The scenario functions are shared by the integration tests
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from ..core.exceptions import PolicyViolation
 from ..environment import Environment
@@ -455,20 +455,64 @@ def run_all(use_resin: bool) -> List[RowResult]:
     return [run_scenario(s, use_resin) for s in SCENARIOS]
 
 
-def run_all_concurrent(use_resin: bool, workers: int = 16) -> List[RowResult]:
-    """Run every Table 4 scenario concurrently on a thread pool.
+def run_all_concurrent(use_resin: bool, workers: int = 16,
+                       front_end: str = "threads") -> List[RowResult]:
+    """Run every Table 4 scenario concurrently.
+
+    ``front_end`` picks the dispatch machinery: ``"threads"`` submits the
+    scenarios straight to a thread pool; ``"async"`` serves each scenario as
+    a web request through an
+    :class:`~repro.server.async_dispatcher.AsyncDispatcher` (one asyncio
+    task per scenario, handlers on the executor) — the whole attack suite
+    exercising the event-loop front end.
 
     Each scenario owns its environment (and phpBB publishes its board through
     a context variable), so N simultaneous attack suites don't leak taint or
     policy state into each other; results come back in ``SCENARIOS`` order
-    and must match :func:`run_all` verdict-for-verdict.
+    and must match :func:`run_all` verdict-for-verdict under either front
+    end.
     """
+    if front_end == "async":
+        return _run_all_async(use_resin, workers)
+    if front_end != "threads":
+        raise ValueError(f"unknown front_end {front_end!r}")
     from concurrent.futures import ThreadPoolExecutor
     with ThreadPoolExecutor(max_workers=workers,
                             thread_name_prefix="table4") as pool:
         futures = [pool.submit(run_scenario, scenario, use_resin)
                    for scenario in SCENARIOS]
         return [future.result() for future in futures]
+
+
+def _run_all_async(use_resin: bool, workers: int) -> List[RowResult]:
+    """The Table 4 suite behind the asyncio front end.
+
+    A miniature evaluation service: ``GET /scenario?index=i`` runs row *i*
+    of the table.  Every request is served inside its own
+    :class:`~repro.core.request_context.RequestContext` on the dispatcher's
+    executor; the scenarios build their own environments underneath, which
+    is exactly the nesting a production deployment has (front-end request
+    scope around application work).
+    """
+    from ..server.async_dispatcher import AsyncDispatcher
+    from ..web.app import WebApplication
+    from ..web.request import Request
+
+    app = WebApplication(Environment(), "table4-harness")
+    results: Dict[int, RowResult] = {}
+
+    @app.route("/scenario")
+    def scenario_route(request, response):
+        index = int(request.param("index"))
+        results[index] = run_scenario(SCENARIOS[index], use_resin)
+        response.write(f"row {index} done")
+
+    requests = [Request("/scenario", params={"index": str(index)},
+                        user="evaluator")
+                for index in range(len(SCENARIOS))]
+    with AsyncDispatcher(app, workers=workers) as server:
+        server.run(requests)
+    return [results[index] for index in range(len(SCENARIOS))]
 
 
 def verdicts(results: List[RowResult]) -> List[tuple]:

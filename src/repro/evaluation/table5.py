@@ -17,11 +17,8 @@ benchmark checks.
 """
 
 from __future__ import annotations
-
-from typing import Callable, Dict, List, Optional
-
+from typing import Callable, Dict
 from ..core.policy import Policy
-from ..environment import Environment
 from ..fs.resinfs import ResinFS
 from ..sql.engine import Engine
 from ..channels.sqlchan import Database

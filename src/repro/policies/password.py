@@ -12,7 +12,7 @@ Section 6.3).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Optional
+from typing import Any, Iterable, Mapping
 
 from ..core.exceptions import DisclosureViolation
 from ..core.policy import Policy

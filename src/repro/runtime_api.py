@@ -27,7 +27,9 @@ Table 3 / free function                ``Resin`` facade
 ``policy_get(d)``                      ``resin.policies(d)``
 ``untaint(d)``                         ``resin.declassify(d)``
 ``set_default_filter_factory(t, f)``   ``resin.set_default_filter(t, f)``
+(free function removed)
 ``reset_default_filters()``            ``resin.reset_filters()``
+(free function removed)
 channel constructors                   ``resin.channel(kind, ...)``
 ``install_script_injection_assertion`` ``resin.assertion("script-injection")
                                        .install()``
@@ -358,13 +360,13 @@ class Resin:
     # -- default-filter registry (scoped) ---------------------------------------
 
     def set_default_filter(self, channel_type: str, factory) -> "Resin":
-        """Scoped equivalent of ``set_default_filter_factory``: affects only
+        """Scoped override of a default filter factory: affects only
         channels created through this environment."""
         self.registry.set_default_filter_factory(channel_type, factory)
         return self
 
     def reset_filters(self, channel_type: Optional[str] = None) -> "Resin":
-        """Scoped equivalent of ``reset_default_filters``."""
+        """Reset this environment's default-filter overrides."""
         self.registry.reset(channel_type)
         return self
 
@@ -410,6 +412,16 @@ class Resin:
         environment with ``workers`` threads."""
         from .server.dispatcher import Dispatcher
         return Dispatcher(app, workers=workers, resin=self)
+
+    def async_dispatcher(self, app, workers: int = 4,
+                         max_in_flight: Optional[int] = None):
+        """An :class:`~repro.server.async_dispatcher.AsyncDispatcher`
+        serving ``app`` from this environment on an asyncio event loop, with
+        ``workers`` executor threads and at most ``max_in_flight`` admitted
+        requests (backpressure)."""
+        from .server.async_dispatcher import AsyncDispatcher
+        return AsyncDispatcher(app, workers=workers,
+                               max_in_flight=max_in_flight, resin=self)
 
     def __repr__(self) -> str:
         return f"Resin(registry={self.registry!r})"

@@ -13,7 +13,7 @@ tens of lines — and they reuse the application's own code and data structures
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Optional
 
 from ..core.exceptions import AccessDenied, InjectionViolation
 from ..core.filter import Filter
@@ -21,7 +21,7 @@ from ..core.request_context import request_scoped_context
 from ..policies.acl import ACL
 from ..policies.code_approval import CodeApproval
 from ..policies.untrusted import HTMLSanitized, SQLSanitized, UntrustedData
-from ..sql.tokenizer import IDENT, KEYWORD, OP, PUNCT, STRING, tokenize
+from ..sql.tokenizer import STRING, tokenize
 from ..tracking.tainted_str import TaintedStr
 from ..web.request import Request
 
@@ -317,7 +317,7 @@ def install_script_injection_assertion(env=None, registry=None) -> None:
     replacement to that environment — the normal deployment shape, one
     assertion per tenant.  With neither argument the replacement is
     *process-wide* (the paper's global-configuration-file shape, now
-    deprecated); call :func:`repro.core.reset_default_filters` to undo that
+    deprecated); call ``default_registry().reset("code")`` to undo that
     variant, or ``env.registry.reset("code")`` for the scoped one.
     """
     from ..core.registry import resolve_registry

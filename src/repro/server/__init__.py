@@ -1,11 +1,19 @@
 """Concurrent request serving.
 
-:class:`~repro.server.dispatcher.Dispatcher` runs a
-:class:`~repro.web.app.WebApplication` on a thread pool, binding each request
-to its own :class:`~repro.core.request_context.RequestContext` over the
-shared environment.
+Two front ends over the same per-request machinery:
+
+* :class:`~repro.server.dispatcher.Dispatcher` runs a
+  :class:`~repro.web.app.WebApplication` on a thread pool;
+* :class:`~repro.server.async_dispatcher.AsyncDispatcher` serves it from an
+  asyncio event loop (bounded in-flight requests, cancellation, graceful
+  shutdown), running handlers on an executor.
+
+Both bind each request to its own
+:class:`~repro.core.request_context.RequestContext` over the shared
+environment.
 """
 
+from .async_dispatcher import AsyncDispatcher
 from .dispatcher import Dispatcher
 
-__all__ = ["Dispatcher"]
+__all__ = ["AsyncDispatcher", "Dispatcher"]

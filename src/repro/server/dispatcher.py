@@ -22,6 +22,10 @@ its private copy::
     with Dispatcher(app, workers=16) as server:
         futures = [server.submit(req) for req in requests]
         responses = [f.result() for f in futures]
+
+For an event-loop front end with backpressure, cancellation and graceful
+shutdown over the same request machinery, see
+:class:`~repro.server.async_dispatcher.AsyncDispatcher`.
 """
 
 from __future__ import annotations

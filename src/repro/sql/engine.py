@@ -9,9 +9,10 @@ layer up, in :class:`repro.channels.sqlchan.Database`.
 
 from __future__ import annotations
 
+import contextlib
 import re
 import threading
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.exceptions import SQLError
 from . import nodes
@@ -86,17 +87,95 @@ class Table:
 class Engine:
     """The in-memory database engine.
 
-    The engine is shared by every request of an environment, so statement
-    execution is serialized through :attr:`lock` (a reentrant lock —
-    :class:`repro.channels.sqlchan.Database` holds it across the multi-step
-    read-modify-write sequences of policy persistence).
+    The engine is shared by every request of an environment.  Locking is
+    **per table**: each table name owns a reentrant lock
+    (:meth:`table_lock`), so statements against independent tables execute
+    concurrently and only statements touching the *same* table serialize.
+    A short-lived :attr:`catalog_lock` guards the table directory itself
+    (``CREATE`` / ``DROP`` and lock creation).
+
+    Lock-ordering rule: multiple table locks are always acquired in
+    sorted-name order (:meth:`locked` does this for you), and the catalog
+    lock is *innermost* — taken last, held only across the directory
+    mutation, and never while waiting for a table lock.  Following the rule
+    everywhere makes deadlock impossible;
+    :class:`repro.channels.sqlchan.Database` uses :meth:`locked` to hold a
+    statement's tables across the multi-step read-modify-write sequences of
+    policy persistence.
     """
 
     def __init__(self):
         self.tables: Dict[str, Table] = {}
-        #: Guards all table reads and mutations.  Reentrant so the policy
-        #: persistence layer can hold it across compound operations.
-        self.lock = threading.RLock()
+        #: Guards :attr:`tables` (the directory, not the rows) and the lock
+        #: registry.  Short-lived: held only while creating/dropping a table
+        #: or materializing a table lock, never across statement execution.
+        self.catalog_lock = threading.RLock()
+        #: One reentrant lock per table *name*.  Entries persist across DROP
+        #: and re-CREATE so that every thread agrees on the lock identity for
+        #: a given name for the engine's lifetime.
+        self._table_locks: Dict[str, threading.RLock] = {}
+        #: Per-thread stack of the name sets currently held via
+        #: :meth:`locked` — what lets an ordering violation fail fast
+        #: instead of deadlocking.
+        self._held = threading.local()
+
+    # -- locking ----------------------------------------------------------------
+
+    def table_lock(self, name: str) -> threading.RLock:
+        """The lock serializing access to table ``name`` (created on demand,
+        stable across DROP/CREATE of the same name)."""
+        lock = self._table_locks.get(name)
+        if lock is None:
+            with self.catalog_lock:
+                lock = self._table_locks.setdefault(name, threading.RLock())
+        return lock
+
+    @contextlib.contextmanager
+    def locked(self, *names: str) -> Iterator["Engine"]:
+        """Hold the locks of every table in ``names`` (sorted-name order).
+
+        This is the engine's multi-table critical section: acquiring in
+        deterministic order means two callers locking overlapping table sets
+        can never deadlock.  Reentrant per thread, so statements executed
+        inside the block re-acquire their table's lock harmlessly.
+
+        Nested ``locked`` calls may only *add* tables that sort after every
+        table already held (re-acquiring held tables is always fine) — a
+        nested acquisition that sorts earlier would break the global
+        ordering and could deadlock against another thread, so it raises
+        :class:`~repro.core.exceptions.SQLError` immediately instead.  Name
+        every table a compound operation touches in its outermost
+        ``locked``/``transaction`` call.
+        """
+        wanted = sorted(set(str(name) for name in names))
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        held = set().union(*stack) if stack else set()
+        fresh = [name for name in wanted if name not in held]
+        if fresh and held and min(fresh) < max(held):
+            raise SQLError(
+                f"lock ordering violation: cannot acquire table(s) "
+                f"{fresh!r} while holding {sorted(held)!r}; name every "
+                f"table the compound operation touches in its outermost "
+                f"locked()/transaction() call")
+        locks = [self.table_lock(name) for name in wanted]
+        for lock in locks:
+            lock.acquire()
+        stack.append(set(wanted))
+        try:
+            yield self
+        finally:
+            stack.pop()
+            for lock in reversed(locks):
+                lock.release()
+
+    @staticmethod
+    def statement_tables(statement) -> Tuple[str, ...]:
+        """The table names ``statement`` touches (empty for table-less
+        SELECTs).  The dialect is single-table, so this is () or a 1-tuple."""
+        table = getattr(statement, "table", None)
+        return () if table is None else (str(table),)
 
     # -- public API -------------------------------------------------------------
 
@@ -104,25 +183,38 @@ class Engine:
         """Execute a SQL string or a parsed statement."""
         if isinstance(statement, str):
             statement = parse(statement)
-        with self.lock:
-            if isinstance(statement, nodes.CreateTable):
+        if isinstance(statement, nodes.CreateTable):
+            with self.locked(statement.table), self.catalog_lock:
                 return self._create(statement)
-            if isinstance(statement, nodes.DropTable):
+        if isinstance(statement, nodes.DropTable):
+            with self.locked(statement.table), self.catalog_lock:
                 return self._drop(statement)
-            if isinstance(statement, nodes.Insert):
+        if isinstance(statement, nodes.Insert):
+            with self.locked(statement.table):
                 return self._insert(statement)
-            if isinstance(statement, nodes.Select):
+        if isinstance(statement, nodes.Select):
+            if statement.table is None:
                 return self._select(statement)
-            if isinstance(statement, nodes.Update):
+            with self.locked(statement.table):
+                return self._select(statement)
+        if isinstance(statement, nodes.Update):
+            with self.locked(statement.table):
                 return self._update(statement)
-            if isinstance(statement, nodes.Delete):
+        if isinstance(statement, nodes.Delete):
+            with self.locked(statement.table):
                 return self._delete(statement)
         raise SQLError(f"cannot execute {type(statement).__name__}")
 
     def table(self, name: str) -> Table:
-        if name not in self.tables:
-            raise SQLError(f"no such table: {name}")
-        return self.tables[name]
+        # Lock-free directory *read*: dict lookups are atomic under the GIL
+        # and every mutation of ``self.tables`` happens under the catalog
+        # lock.  Taking the catalog lock here would invert the
+        # catalog-before-table ordering for callers that already hold a
+        # table lock (e.g. Database's compound statements).
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SQLError(f"no such table: {name}") from None
 
     # -- statement execution ---------------------------------------------------------
 

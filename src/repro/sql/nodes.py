@@ -9,7 +9,7 @@ the original (used by tests and by applications that log queries).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..tracking.tainted_str import TaintedStr
 from ..tracking.propagation import concat, to_tainted_str

@@ -8,14 +8,14 @@ joining heterogeneous values.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List
+from typing import Any
 
 from ..core.policyset import PolicySet, as_policyset
 from .merge import merge_policysets
 from .ranges import RangeMap
-from .tainted_bytes import TaintedBytes, rangemap_of_bytes
-from .tainted_number import TaintedFloat, TaintedInt, policies_of_number
-from .tainted_str import TaintedStr, policies_of_str, rangemap_of
+from .tainted_bytes import TaintedBytes
+from .tainted_number import TaintedFloat, TaintedInt
+from .tainted_str import TaintedStr
 
 __all__ = [
     "policies_of", "to_tainted_str", "concat", "interpolate", "stringify",

@@ -8,7 +8,7 @@ for the operations the channels and filesystem substrates need.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import List, Optional
 
 from ..core.policy import Policy
 from ..core.policyset import PolicySet, as_policyset

@@ -23,14 +23,11 @@ policies never affect program logic, only boundary checks.
 """
 
 from __future__ import annotations
-
 import re
 import string as _string_module
-from typing import Iterable, Iterator, List, Optional, Tuple
-
+from typing import Iterable, Iterator, List, Optional
 from ..core.policy import Policy
 from ..core.policyset import PolicySet, as_policyset
-from .merge import merge_policysets
 from .ranges import PolicyRange, RangeMap
 
 __all__ = ["TaintedStr", "taint_str", "rangemap_of", "policies_of_str"]

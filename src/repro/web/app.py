@@ -13,7 +13,7 @@ rather than served raw.
 from __future__ import annotations
 
 import copy
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from ..channels.httpout import HTTPOutputChannel
 from ..core.exceptions import HTTPError, PolicyViolation

@@ -1,0 +1,297 @@
+"""The asyncio front end: per-task request isolation, cancellation,
+backpressure, graceful shutdown, and the Table 4 suite behind it."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.core.exceptions import PolicyViolation
+from repro.core.filter import Filter
+from repro.core.request_context import current_request
+from repro.environment import Environment
+from repro.evaluation import table4
+from repro.runtime_api import Resin
+from repro.server.async_dispatcher import AsyncDispatcher
+from repro.web.app import WebApplication
+from repro.web.request import Request
+
+
+def _wait(event, timeout=5):
+    """Await a threading.Event without blocking the loop."""
+    loop = asyncio.get_running_loop()
+    return loop.run_in_executor(None, event.wait, timeout)
+
+
+class TestServing:
+    def test_tasks_keep_their_own_request_context(self):
+        env = Environment()
+        app = WebApplication(env, "async-whoami")
+        barrier = threading.Barrier(4)
+
+        @app.route("/whoami")
+        def whoami(request, response):
+            barrier.wait(timeout=10)
+            env.http.write(f"user={request.user};")
+            env.http.write(f"fs={env.fs.request_context.get('user')}")
+
+        users = [f"user-{i}@example.org" for i in range(4)]
+
+        async def main():
+            async with AsyncDispatcher(app, workers=4) as server:
+                return await server.dispatch_all(
+                    [Request("/whoami", user=user) for user in users])
+
+        responses = asyncio.run(main())
+        for user, response in zip(users, responses):
+            assert response.body() == f"user={user};fs={user}"
+
+    def test_violation_confined_to_its_own_task(self):
+        env = Environment()
+        app = WebApplication(env, "async-mixed")
+
+        @app.route("/ok")
+        def ok(request, response):
+            response.write("fine")
+
+        @app.route("/boom")
+        def boom(request, response):
+            raise PolicyViolation("assertion fired")
+
+        requests = [Request("/boom", user="evil")] * 3 + \
+                   [Request("/ok", user=f"u{i}") for i in range(5)]
+
+        async def main():
+            async with AsyncDispatcher(app, workers=4) as server:
+                return await server.dispatch_all(requests,
+                                                 return_exceptions=True)
+
+        results = asyncio.run(main())
+        violations = [r for r in results if isinstance(r, PolicyViolation)]
+        pages = [r for r in results if not isinstance(r, Exception)]
+        assert len(violations) == 3
+        assert len(pages) == 5
+        assert all("fine" in page.body() for page in pages)
+
+    def test_resin_facade_builds_async_dispatcher(self):
+        resin = Resin()
+        app = WebApplication(resin.env, "facade")
+
+        @app.route("/ping")
+        def ping(request, response):
+            response.write(f"pong {request.user}")
+
+        server = resin.async_dispatcher(app, workers=2, max_in_flight=3)
+        assert server.resin is resin
+        assert server.max_in_flight == 3
+        with server:
+            [response] = server.run([Request("/ping", user="alice")])
+        assert "pong alice" in response.body()
+
+
+class TestCancellation:
+    def test_cancel_mid_request_unwinds_context_and_overlay(self):
+        """Cancelling the task abandons the response; the handler thread
+        still unwinds its RequestContext, so the request's database filter
+        overlay pops and nothing leaks onto the shared base chain."""
+        env = Environment()
+        app = WebApplication(env, "async-cancel")
+        base_filters = len(env.db.filter.filters)
+        entered = threading.Event()
+        release = threading.Event()
+        observed = {}
+
+        @app.route("/slow")
+        def slow(request, response):
+            env.db.add_filter(Filter())  # request-scoped overlay
+            observed["overlay_during"] = len(
+                env.db._effective_chain().filters) - base_filters
+            entered.set()
+            release.wait(5)
+            observed["context_bound_after_cancel"] = \
+                current_request() is not None
+            response.write("never awaited")
+
+        async def main():
+            async with AsyncDispatcher(app, workers=2) as server:
+                task = server.submit(Request("/slow", user="alice"))
+                await _wait(entered)
+                task.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await task
+                release.set()
+            # __aexit__ drained the executor: the handler has finished.
+
+        asyncio.run(main())
+        assert observed["overlay_during"] == 1
+        # The abandoned handler ran to completion on its thread, inside its
+        # own (still bound there) context ...
+        assert observed["context_bound_after_cancel"] is True
+        # ... and its overlay died with the context: the shared chain is
+        # untouched and no request is bound to the test thread.
+        assert len(env.db.filter.filters) == base_filters
+        assert len(env.db._effective_chain().filters) == base_filters
+        assert current_request() is None
+
+    def test_cancel_while_queued_never_starts_the_handler(self):
+        env = Environment()
+        app = WebApplication(env, "async-queued")
+        started = []
+        release = threading.Event()
+
+        @app.route("/slow")
+        def slow(request, response):
+            started.append(request.user)
+            release.wait(5)
+            response.write("done")
+
+        async def main():
+            async with AsyncDispatcher(app, workers=1,
+                                       max_in_flight=1) as server:
+                first = server.submit(Request("/slow", user="running"))
+                await asyncio.sleep(0.05)      # let it occupy the only slot
+                queued = server.submit(Request("/slow", user="queued"))
+                await asyncio.sleep(0.05)      # parked on the semaphore
+                queued.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await queued
+                release.set()
+                await first
+
+        asyncio.run(main())
+        assert started == ["running"]
+
+
+class TestBackpressureAndShutdown:
+    def test_max_in_flight_bounds_concurrency(self):
+        env = Environment()
+        app = WebApplication(env, "async-bounded")
+        lock = threading.Lock()
+        state = {"now": 0, "peak": 0}
+
+        @app.route("/work")
+        def work(request, response):
+            with lock:
+                state["now"] += 1
+                state["peak"] = max(state["peak"], state["now"])
+            time.sleep(0.02)
+            with lock:
+                state["now"] -= 1
+            response.write("ok")
+
+        async def main():
+            async with AsyncDispatcher(app, workers=8,
+                                       max_in_flight=2) as server:
+                await server.dispatch_all(
+                    [Request("/work", user=f"u{i}") for i in range(10)])
+
+        asyncio.run(main())
+        assert state["peak"] <= 2
+
+    def test_rebind_refused_while_direct_dispatch_is_admitted(self):
+        """A dispatch() awaiter on one loop holds an admission even though
+        it never enters the task set; another loop must not steal the
+        semaphore from under it."""
+        env = Environment()
+        app = WebApplication(env, "async-rebind")
+        entered = threading.Event()
+        release = threading.Event()
+
+        @app.route("/slow")
+        def slow(request, response):
+            entered.set()
+            release.wait(5)
+            response.write("ok")
+
+        server = AsyncDispatcher(app, workers=2)
+        result = {}
+
+        def loop_a():
+            async def main():
+                return await server.dispatch(Request("/slow", user="a"))
+            result["response"] = asyncio.run(main())
+
+        thread = threading.Thread(target=loop_a)
+        thread.start()
+        try:
+            assert entered.wait(5)
+            with pytest.raises(RuntimeError, match="another event loop"):
+                server.run([Request("/slow", user="b")])
+        finally:
+            release.set()
+            thread.join(timeout=5)
+        assert "ok" in result["response"].body()
+        server.shutdown()
+
+    def test_graceful_shutdown_drains_in_flight_requests(self):
+        env = Environment()
+        app = WebApplication(env, "async-drain")
+
+        @app.route("/slow")
+        def slow(request, response):
+            time.sleep(0.05)
+            response.write(f"served {request.user}")
+
+        async def main():
+            server = AsyncDispatcher(app, workers=4)
+            tasks = [server.submit(Request("/slow", user=f"u{i}"))
+                     for i in range(4)]
+            await server.aclose()              # waits for all four
+            assert all(task.done() for task in tasks)
+            responses = [task.result() for task in tasks]
+            assert all(f"served u{i}" in r.body()
+                       for i, r in enumerate(responses))
+            with pytest.raises(RuntimeError):
+                server.submit(Request("/slow", user="late"))
+            with pytest.raises(RuntimeError):
+                await server.dispatch(Request("/slow", user="late"))
+            await server.aclose()              # idempotent
+
+        asyncio.run(main())
+
+    def test_disjoint_table_writes_overlap_across_tasks(self):
+        """Two asyncio tasks writing different tables: the second completes
+        while the first still holds its own table's lock mid-transaction."""
+        env = Environment()
+        env.db.execute_unchecked("CREATE TABLE ta (id INTEGER)")
+        env.db.execute_unchecked("CREATE TABLE tb (id INTEGER)")
+        app = WebApplication(env, "async-tables")
+        a_entered = threading.Event()
+        release_a = threading.Event()
+
+        @app.route("/write-a")
+        def write_a(request, response):
+            with env.db.transaction("ta"):
+                a_entered.set()
+                release_a.wait(5)
+                env.db.query("INSERT INTO ta (id) VALUES (1)")
+            response.write("a done")
+
+        @app.route("/write-b")
+        def write_b(request, response):
+            env.db.query("INSERT INTO tb (id) VALUES (2)")
+            response.write("b done")
+
+        async def main():
+            async with AsyncDispatcher(app, workers=2) as server:
+                task_a = server.submit(Request("/write-a", user="a"))
+                await _wait(a_entered)
+                response_b = await asyncio.wait_for(
+                    server.dispatch(Request("/write-b", user="b")), timeout=2)
+                assert "b done" in response_b.body()
+                release_a.set()
+                assert "a done" in (await task_a).body()
+
+        asyncio.run(main())
+        assert env.db.query("SELECT count(*) FROM ta").scalar() == 1
+        assert env.db.query("SELECT count(*) FROM tb").scalar() == 1
+
+
+class TestTable4AsyncFrontEnd:
+    @pytest.mark.parametrize("use_resin", [False, True])
+    def test_async_run_matches_serial_verdicts(self, use_resin):
+        serial = table4.run_all(use_resin)
+        concurrent = table4.run_all_concurrent(use_resin, workers=16,
+                                               front_end="async")
+        assert table4.verdicts(concurrent) == table4.verdicts(serial)

@@ -92,9 +92,8 @@ class TestConcurrentEnvironments:
             scoped.interpreter.execute_source("globals_dict['ran'] = True")
             assert scoped.interpreter.globals["ran"]
         finally:
-            from repro.core import reset_default_filters
-            with pytest.warns(DeprecationWarning):
-                reset_default_filters()
+            from repro.core import default_registry
+            default_registry().reset()
 
     def test_mail_and_db_resolve_through_owning_environment(self):
         """Substrate channels (email, sql) also consult their environment's

@@ -7,7 +7,7 @@ from repro.apps.filemanager import FileThingie, PHPNavigator
 from repro.apps.loginlib import LoginLibrary
 from repro.apps.scriptapps import UploadApp
 from repro.core.exceptions import (AccessDenied, DisclosureViolation,
-                                   InjectionViolation, PolicyViolation,
+                                   InjectionViolation,
                                    ScriptInjectionViolation)
 from repro.environment import Environment
 

@@ -5,7 +5,7 @@ import pytest
 from repro.apps.moinmoin import MoinMoin
 from repro.apps.phpbb import PhpBB
 from repro.channels.socketchan import SocketChannel
-from repro.core.exceptions import AccessDenied, InjectionViolation, PolicyViolation
+from repro.core.exceptions import AccessDenied, InjectionViolation
 from repro.environment import Environment
 from repro.security.assertions import mark_untrusted
 

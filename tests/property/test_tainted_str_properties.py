@@ -14,7 +14,6 @@ import string
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core.policyset import PolicySet
 from repro.policies import HTMLSanitized, SQLSanitized, UntrustedData
 from repro.tracking.tainted_str import TaintedStr, taint_str
 

@@ -6,7 +6,6 @@ import pytest
 
 from repro.channels.sqlchan import Database
 from repro.core.exceptions import InjectionViolation
-from repro.policies import UntrustedData
 from repro.security.assertions import (AutoSanitizingSQLFilter,
                                        HTMLStructureGuardFilter,
                                        JSONGuardFilter, mark_untrusted)

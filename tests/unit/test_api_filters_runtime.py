@@ -5,14 +5,12 @@ import pytest
 
 from repro.core import (DeclassifyFilter, DefaultFilter, Filter, FilterChain,
                         FilterContext, OutputBuffer, as_context, check_export,
-                        filter_of, guard_function, has_policy,
-                        make_default_filter, policy_add, policy_get,
-                        policy_remove, reset_default_filters,
-                        set_default_filter_factory, taint, untaint)
+                        default_registry, filter_of, guard_function,
+                        has_policy, make_default_filter, policy_add,
+                        policy_get, policy_remove, taint, untaint)
 from repro.core.exceptions import FilterError, PolicyViolation
 from repro.core.policyset import PolicySet
 from repro.policies import PasswordPolicy, SQLSanitized, UntrustedData
-from repro.tracking.tainted_number import TaintedInt
 from repro.tracking.tainted_str import TaintedStr
 
 U = UntrustedData("x")
@@ -171,28 +169,27 @@ class TestDefaultFilterRegistry:
         assert flt.context["email"] == "a@b.c"
 
     def test_factory_override_and_reset(self):
-        # This test exercises the deprecated process-global path on purpose.
+        # Explicit mutation of the process-wide registry (the removed
+        # free-function shims' replacement for code that really wants the
+        # global shape).
         class Custom(Filter):
             pass
 
-        with pytest.warns(DeprecationWarning):
-            set_default_filter_factory("socket", Custom)
+        default_registry().set_default_filter_factory("socket", Custom)
         assert isinstance(make_default_filter("socket"), Custom)
-        with pytest.warns(DeprecationWarning):
-            reset_default_filters()
+        default_registry().reset()
         assert isinstance(make_default_filter("socket"), DefaultFilter)
 
     def test_factory_must_return_filter(self):
-        with pytest.warns(DeprecationWarning):
-            set_default_filter_factory("socket", lambda ctx: "nope")
+        default_registry().set_default_filter_factory(
+            "socket", lambda ctx: "nope")
         with pytest.raises(FilterError):
             make_default_filter("socket")
-        with pytest.warns(DeprecationWarning):
-            reset_default_filters()
+        default_registry().reset()
 
     def test_factory_must_be_callable(self):
-        with pytest.raises(FilterError), pytest.warns(DeprecationWarning):
-            set_default_filter_factory("socket", "nope")
+        with pytest.raises(FilterError):
+            default_registry().set_default_filter_factory("socket", "nope")
 
 
 class TestCheckExportAndContext:

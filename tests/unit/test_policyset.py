@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.policyset import PolicySet, as_policyset
-from repro.policies import (AuthenticData, HTMLSanitized, PasswordPolicy,
+from repro.policies import (HTMLSanitized, PasswordPolicy,
                             SQLSanitized, UntrustedData)
 
 

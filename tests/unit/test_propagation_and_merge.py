@@ -12,7 +12,7 @@ from repro.tracking.propagation import (concat, interpolate, merge_values,
                                         stringify, strip_policies,
                                         to_tainted_str)
 from repro.tracking.tainted_number import taint_int
-from repro.tracking.tainted_str import TaintedStr, taint_str
+from repro.tracking.tainted_str import taint_str
 
 U = UntrustedData("x")
 A = AuthenticData("ca")

@@ -4,8 +4,7 @@
 import pytest
 
 from repro.core import (DefaultFilter, Filter, FilterRegistry,
-                        default_registry, make_default_filter,
-                        reset_default_filters, set_default_filter_factory)
+                        default_registry, make_default_filter)
 from repro.core.exceptions import (DisclosureViolation, FilterError,
                                    InjectionViolation,
                                    ScriptInjectionViolation)
@@ -129,14 +128,24 @@ class TestContextMergeRegression:
             stranger.write(note)
 
 
-class TestDeprecationShims:
-    # These tests exercise the deprecated process-global path on purpose;
-    # pytest.warns both asserts the DeprecationWarning and keeps it out of
-    # the warning summary.
+class TestProcessWideRegistry:
+    # The deprecated free-function mutators are gone (they warned through
+    # PR 2's deprecation cycle); the process-wide registry itself remains
+    # the root of every chain and is mutated explicitly when wanted.
 
-    def test_free_functions_hit_process_registry(self):
-        with pytest.warns(DeprecationWarning):
-            set_default_filter_factory("socket", Custom)
+    def test_deprecated_mutator_shims_are_removed(self):
+        import repro
+        import repro.core
+        for module in (repro, repro.core):
+            for name in ("set_default_filter_factory",
+                         "reset_default_filters"):
+                with pytest.raises(AttributeError):
+                    getattr(module, name)
+        assert "set_default_filter_factory" not in repro.__all__
+        assert "reset_default_filters" not in repro.core.__all__
+
+    def test_explicit_default_registry_mutation_still_works(self):
+        default_registry().set_default_filter_factory("socket", Custom)
         try:
             assert isinstance(make_default_filter("socket"), Custom)
             assert default_registry().has_override("socket")
@@ -144,33 +153,16 @@ class TestDeprecationShims:
             # registry (pre-registry behaviour).
             assert isinstance(SocketChannel().filter.filters[0], Custom)
         finally:
-            with pytest.warns(DeprecationWarning):
-                reset_default_filters()
+            default_registry().reset()
         assert isinstance(make_default_filter("socket"), DefaultFilter)
 
     def test_environment_inherits_process_overrides(self):
-        with pytest.warns(DeprecationWarning):
-            set_default_filter_factory("socket", Custom)
+        default_registry().set_default_filter_factory("socket", Custom)
         try:
             env = Environment()
             assert isinstance(env.socket().filter.filters[0], Custom)
         finally:
-            with pytest.warns(DeprecationWarning):
-                reset_default_filters()
-
-    def test_shims_emit_deprecation_warnings(self):
-        """The ROADMAP migration step: the process-global mutators now warn."""
-        with pytest.warns(DeprecationWarning, match="process-wide"):
-            set_default_filter_factory("socket", Custom)
-        with pytest.warns(DeprecationWarning, match="process-wide"):
-            reset_default_filters()
-        # The scoped equivalents stay silent.
-        import warnings as _warnings
-        with _warnings.catch_warnings():
-            _warnings.simplefilter("error")
-            env = Environment()
-            env.registry.set_default_filter_factory("socket", Custom)
-            env.registry.reset()
+            default_registry().reset()
 
     def test_environment_override_does_not_leak_to_process(self):
         env = Environment()

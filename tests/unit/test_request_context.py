@@ -8,7 +8,6 @@ import pytest
 from repro.core.exceptions import InjectionViolation
 from repro.core.request_context import (RequestContext, current_request,
                                         request_scoped_context)
-from repro.environment import Environment
 from repro.policies.untrusted import UntrustedData
 from repro.runtime_api import Resin
 from repro.security.assertions import SQLGuardFilter, mark_untrusted
@@ -178,6 +177,18 @@ class TestPerRequestDbFilters:
             with pytest.raises(InjectionViolation) as excinfo:
                 _injection(db)
         assert excinfo.value.context.get("user") == "alice"
+
+    def test_violation_context_ignores_foreign_environment_request(self, db):
+        """A request bound for *another* environment (e.g. an evaluation
+        harness serving this app as a nested workload) must not have its
+        principal misattributed to this environment's violations."""
+        from repro.environment import Environment
+        db.add_filter(SQLGuardFilter("structure"))   # shared base filter
+        harness = Environment()
+        with RequestContext(env=harness, user="evaluator@harness"):
+            with pytest.raises(InjectionViolation) as excinfo:
+                _injection(db)
+        assert excinfo.value.context.get("user") != "evaluator@harness"
 
 
 class TestTaintIsolationAcrossContexts:

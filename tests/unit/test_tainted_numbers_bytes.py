@@ -7,7 +7,7 @@ from repro.policies import AuthenticData, SQLSanitized, UntrustedData
 from repro.tracking.tainted_bytes import TaintedBytes, taint_bytes
 from repro.tracking.tainted_number import (TaintedFloat, TaintedInt,
                                            taint_float, taint_int)
-from repro.tracking.tainted_str import TaintedStr, taint_str
+from repro.tracking.tainted_str import taint_str
 
 U = UntrustedData("test")
 A = AuthenticData("ca")

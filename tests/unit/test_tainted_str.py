@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.policyset import PolicySet
-from repro.policies import HTMLSanitized, PasswordPolicy, SQLSanitized, UntrustedData
+from repro.policies import SQLSanitized, UntrustedData
 from repro.tracking.tainted_str import TaintedStr, taint_str
 
 U = UntrustedData("test")

@@ -7,10 +7,8 @@ from repro.core.api import policy_add, policy_get
 from repro.core.exceptions import (AccessDenied, DisclosureViolation,
                                    HTTPError, InjectionViolation,
                                    ScriptInjectionViolation)
-from repro.core.policyset import PolicySet
-from repro.environment import Environment
 from repro.interp.filters import InterpreterFilter
-from repro.policies import (ACL, ALL_USERS, CodeApproval, HTMLSanitized,
+from repro.policies import (ACL, CodeApproval, HTMLSanitized,
                             PagePolicy, PasswordPolicy, ReadAccessPolicy,
                             SecretPolicy, SQLSanitized, UntrustedData)
 from repro.security import vulndb
