@@ -2,18 +2,26 @@
 
 from .admissions import AdmissionsSystem
 from .filemanager import BaseFileManager, FileThingie, PHPNavigator
-from .hotcrp import (AuthorListPolicy, HotCRP, PaperPolicy, ReviewPolicy)
+from .hotcrp import AuthorListPolicy, HotCRP, PaperPolicy, ReviewPolicy
 from .loginlib import LoginLibrary
 from .moinmoin import MoinMoin
 from .phpbb import ForumMessagePolicy, PhpBB
 from .scriptapps import VULNERABLE_APPS, UploadApp, build_all
 
 __all__ = [
-    "HotCRP", "PaperPolicy", "AuthorListPolicy", "ReviewPolicy",
+    "HotCRP",
+    "PaperPolicy",
+    "AuthorListPolicy",
+    "ReviewPolicy",
     "MoinMoin",
-    "PhpBB", "ForumMessagePolicy",
-    "FileThingie", "PHPNavigator", "BaseFileManager",
+    "PhpBB",
+    "ForumMessagePolicy",
+    "FileThingie",
+    "PHPNavigator",
+    "BaseFileManager",
     "AdmissionsSystem",
     "LoginLibrary",
-    "UploadApp", "VULNERABLE_APPS", "build_all",
+    "UploadApp",
+    "VULNERABLE_APPS",
+    "build_all",
 ]

@@ -28,8 +28,7 @@ from ..web.sanitize import sql_quote
 class AdmissionsSystem:
     """The admissions review application."""
 
-    def __init__(self, env: Optional[Environment] = None,
-                 use_resin: bool = True):
+    def __init__(self, env: Optional[Environment] = None, use_resin: bool = True):
         self.env = env if env is not None else Environment()
         self.resin = Resin(self.env)
         self.use_resin = use_resin
@@ -46,18 +45,38 @@ class AdmissionsSystem:
         self.env.db.execute_unchecked(
             "CREATE TABLE IF NOT EXISTS applicants "
             "(applicant_id INTEGER, name TEXT, area TEXT, gre INTEGER, "
-            "decision TEXT, notes TEXT)")
+            "decision TEXT, notes TEXT)"
+        )
 
     # -- data entry ---------------------------------------------------------------------
 
-    def add_applicant(self, applicant_id: int, name: str, area: str,
-                      gre: int, decision: str = "pending",
-                      notes: str = "") -> None:
-        self.env.db.query(concat(
-            "INSERT INTO applicants (applicant_id, name, area, gre, decision, "
-            "notes) VALUES (", str(int(applicant_id)), ", '", sql_quote(name),
-            "', '", sql_quote(area), "', ", str(int(gre)), ", '",
-            sql_quote(decision), "', '", sql_quote(notes), "')"))
+    def add_applicant(
+        self,
+        applicant_id: int,
+        name: str,
+        area: str,
+        gre: int,
+        decision: str = "pending",
+        notes: str = "",
+    ) -> None:
+        self.env.db.query(
+            concat(
+                "INSERT INTO applicants (applicant_id, name, area, gre, decision, "
+                "notes) VALUES (",
+                str(int(applicant_id)),
+                ", '",
+                sql_quote(name),
+                "', '",
+                sql_quote(area),
+                "', ",
+                str(int(gre)),
+                ", '",
+                sql_quote(decision),
+                "', '",
+                sql_quote(notes),
+                "')",
+            )
+        )
 
     def _taint(self, value):
         """Request parameters reach the handlers as untrusted data when the
@@ -72,9 +91,13 @@ class AdmissionsSystem:
     def search_by_name(self, name) -> List:
         """Public search screen: input is properly quoted."""
         name = self._taint(name)
-        result = self.env.db.query(concat(
-            "SELECT applicant_id, name, area FROM applicants WHERE name = '",
-            sql_quote(name), "'"))
+        result = self.env.db.query(
+            concat(
+                "SELECT applicant_id, name, area FROM applicants WHERE name = '",
+                sql_quote(name),
+                "'",
+            )
+        )
         return list(result.rows)
 
     # -- the three vulnerable internal committee screens -------------------------------------
@@ -82,30 +105,44 @@ class AdmissionsSystem:
     def filter_by_area(self, area) -> List:
         """Internal screen #1 — the area filter is interpolated raw."""
         area = self._taint(area)
-        result = self.env.db.query(concat(
-            "SELECT applicant_id, name, gre FROM applicants WHERE area = '",
-            area, "'"))                                     # BUG: no quoting
+        result = self.env.db.query(
+            concat(
+                "SELECT applicant_id, name, gre FROM applicants WHERE area = '",
+                area,  # BUG: no quoting
+                "'",
+            )
+        )
         return list(result.rows)
 
     def lookup_applicant(self, applicant_id) -> List:
         """Internal screen #2 — the applicant id is interpolated into a
         numeric context with no quoting at all."""
         applicant_id = self._taint(applicant_id)
-        result = self.env.db.query(concat(
-            "SELECT applicant_id, name, notes FROM applicants "
-            "WHERE applicant_id = ", applicant_id))          # BUG: no quoting
+        result = self.env.db.query(
+            concat(
+                "SELECT applicant_id, name, notes FROM applicants "
+                "WHERE applicant_id = ",
+                applicant_id,  # BUG: no quoting
+            )
+        )
         return list(result.rows)
 
     def update_decision(self, applicant_id, decision) -> int:
         """Internal screen #3 — the decision text is interpolated raw."""
         decision = self._taint(decision)
-        result = self.env.db.query(concat(
-            "UPDATE applicants SET decision = '", decision,  # BUG: no quoting
-            "' WHERE applicant_id = ", str(int(applicant_id))))
+        result = self.env.db.query(
+            concat(
+                "UPDATE applicants SET decision = '",
+                decision,  # BUG: no quoting
+                "' WHERE applicant_id = ",
+                str(int(applicant_id)),
+            )
+        )
         return result.rowcount
 
     # -- helpers used by the harness ----------------------------------------------------------
 
     def decisions(self) -> List:
-        return list(self.env.db.query(
-            "SELECT applicant_id, decision FROM applicants").rows)
+        return list(
+            self.env.db.query("SELECT applicant_id, decision FROM applicants").rows
+        )

@@ -36,8 +36,7 @@ class BaseFileManager:
     #: Name of the application (used in the data-root path).
     name = "filemanager"
 
-    def __init__(self, env: Optional[Environment] = None,
-                 use_resin: bool = True):
+    def __init__(self, env: Optional[Environment] = None, use_resin: bool = True):
         self.env = env if env is not None else Environment()
         self.resin = Resin(self.env)
         self.use_resin = use_resin
@@ -59,7 +58,8 @@ class BaseFileManager:
             return fspath.is_inside(path, self.home_dir(user))
 
         self.resin.fs.set_persistent_filter(
-            self.data_root, WriteAccessFilter(allowed=allowed))
+            self.data_root, WriteAccessFilter(allowed=allowed)
+        )
 
     # -- application logic ---------------------------------------------------------------
 

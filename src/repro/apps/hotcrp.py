@@ -55,7 +55,9 @@ class PaperPolicy(Policy):
             return
         raise AccessDenied(
             f"user {user!r} may not read paper #{self.paper_id}",
-            policy=self, context=context)
+            policy=self,
+            context=context,
+        )
 
 
 class AuthorListPolicy(Policy):
@@ -82,7 +84,9 @@ class AuthorListPolicy(Policy):
             return
         raise AccessDenied(
             f"author list of paper #{self.paper_id} is anonymous",
-            policy=self, context=context)
+            policy=self,
+            context=context,
+        )
 
 
 class ReviewPolicy(Policy):
@@ -106,14 +110,15 @@ class ReviewPolicy(Policy):
             return
         raise AccessDenied(
             f"user {user!r} may not read reviews of paper #{self.paper_id}",
-            policy=self, context=context)
+            policy=self,
+            context=context,
+        )
 
 
 class HotCRP:
     """The conference site."""
 
-    def __init__(self, env: Optional[Environment] = None,
-                 use_resin: bool = True):
+    def __init__(self, env: Optional[Environment] = None, use_resin: bool = True):
         self.env = env if env is not None else Environment()
         self.resin = Resin(self.env)
         self.use_resin = use_resin
@@ -128,19 +133,27 @@ class HotCRP:
         db = self.env.db
         db.execute_unchecked(
             "CREATE TABLE IF NOT EXISTS users "
-            "(email TEXT, password TEXT, is_pc INTEGER, priv_chair INTEGER)")
+            "(email TEXT, password TEXT, is_pc INTEGER, priv_chair INTEGER)"
+        )
         db.execute_unchecked(
             "CREATE TABLE IF NOT EXISTS papers "
             "(id INTEGER, title TEXT, abstract TEXT, authors TEXT, "
-            "anonymous INTEGER)")
+            "anonymous INTEGER)"
+        )
         db.execute_unchecked(
             "CREATE TABLE IF NOT EXISTS reviews "
-            "(paper_id INTEGER, reviewer TEXT, body TEXT, released INTEGER)")
+            "(paper_id INTEGER, reviewer TEXT, body TEXT, released INTEGER)"
+        )
 
     # -- account management ---------------------------------------------------------------
 
-    def register_user(self, email: str, password: str, is_pc: bool = False,
-                      priv_chair: bool = False) -> None:
+    def register_user(
+        self,
+        email: str,
+        password: str,
+        is_pc: bool = False,
+        priv_chair: bool = False,
+    ) -> None:
         """Create an account.  With RESIN, the password is annotated with a
         ``PasswordPolicy`` the moment it is set (Figure 2); the policy then
         follows the password into the database and back."""
@@ -149,8 +162,15 @@ class HotCRP:
             password = self.resin.policy(PasswordPolicy, email).on(password)
         query = concat(
             "INSERT INTO users (email, password, is_pc, priv_chair) VALUES ('",
-            sql_quote(email), "', '", sql_quote(password), "', ",
-            "1" if is_pc else "0", ", ", "1" if priv_chair else "0", ")")
+            sql_quote(email),
+            "', '",
+            sql_quote(password),
+            "', ",
+            "1" if is_pc else "0",
+            ", ",
+            "1" if priv_chair else "0",
+            ")",
+        )
         self.env.db.query(query)
 
     def authenticate(self, email: str, password: str) -> bool:
@@ -158,9 +178,14 @@ class HotCRP:
         return row is not None and str(row["password"]) == str(password)
 
     def _user(self, email: str):
-        result = self.env.db.query(concat(
-            "SELECT email, password, is_pc, priv_chair FROM users "
-            "WHERE email = '", sql_quote(email), "'"))
+        result = self.env.db.query(
+            concat(
+                "SELECT email, password, is_pc, priv_chair FROM users "
+                "WHERE email = '",
+                sql_quote(email),
+                "'",
+            )
+        )
         return result.rows[0] if result.rows else None
 
     def is_pc_member(self, email: Optional[str]) -> bool:
@@ -173,8 +198,9 @@ class HotCRP:
 
     # -- password reminder (the running example) --------------------------------------------
 
-    def send_password_reminder(self, account_email: str,
-                               response: HTTPOutputChannel) -> str:
+    def send_password_reminder(
+        self, account_email: str, response: HTTPOutputChannel
+    ) -> str:
         """Send (or preview) a password reminder for ``account_email``.
 
         The reminder is always addressed to the account holder's e-mail
@@ -187,23 +213,33 @@ class HotCRP:
         if row is None:
             response.write("Unknown account.\n")
             return "unknown"
-        body = concat("Dear user,\n\nYour HotCRP password is: ",
-                      row["password"], "\n\nRegards, the submission site\n")
+        body = concat(
+            "Dear user,\n\nYour HotCRP password is: ",
+            row["password"],
+            "\n\nRegards, the submission site\n",
+        )
         if self.email_preview_mode:
             # Email preview: show the message in the browser.
             response.write("<h1>Email preview</h1><pre>")
             response.write(body)
             response.write("</pre>")
             return "previewed"
-        self.env.mail.send(to=account_email,
-                           subject="HotCRP password reminder", body=body)
+        self.env.mail.send(
+            to=account_email, subject="HotCRP password reminder", body=body
+        )
         response.write("A reminder has been sent to your address.\n")
         return "mailed"
 
     # -- papers -----------------------------------------------------------------------------------
 
-    def submit_paper(self, paper_id: int, title: str, abstract: str,
-                     authors: List[str], anonymous: bool = True) -> None:
+    def submit_paper(
+        self,
+        paper_id: int,
+        title: str,
+        abstract: str,
+        authors: List[str],
+        anonymous: bool = True,
+    ) -> None:
         author_field = ", ".join(authors)
         title = to_tainted_str(title)
         abstract = to_tainted_str(abstract)
@@ -211,48 +247,70 @@ class HotCRP:
         if self.use_resin:
             allowed = set(authors)
             title = self.resin.taint(title, PaperPolicy(paper_id, allowed))
-            abstract = self.resin.taint(abstract,
-                                        PaperPolicy(paper_id, allowed))
+            abstract = self.resin.taint(abstract, PaperPolicy(paper_id, allowed))
             author_text = self.resin.taint(
-                author_text, AuthorListPolicy(paper_id, authors, anonymous))
+                author_text, AuthorListPolicy(paper_id, authors, anonymous)
+            )
         query = concat(
             "INSERT INTO papers (id, title, abstract, authors, anonymous) "
-            "VALUES (", str(int(paper_id)), ", '", sql_quote(title), "', '",
-            sql_quote(abstract), "', '", sql_quote(author_text), "', ",
-            "1" if anonymous else "0", ")")
+            "VALUES (",
+            str(int(paper_id)),
+            ", '",
+            sql_quote(title),
+            "', '",
+            sql_quote(abstract),
+            "', '",
+            sql_quote(author_text),
+            "', ",
+            "1" if anonymous else "0",
+            ")",
+        )
         self.env.db.query(query)
 
-    def add_review(self, paper_id: int, reviewer: str, body: str,
-                   released: bool = False) -> None:
+    def add_review(
+        self, paper_id: int, reviewer: str, body: str, released: bool = False
+    ) -> None:
         paper = self._paper(paper_id)
         authors = [a.strip() for a in str(paper["authors"]).split(",")]
         body = to_tainted_str(body)
         if self.use_resin:
-            body = self.resin.taint(body,
-                                    ReviewPolicy(paper_id, authors, released))
-        self.env.db.query(concat(
-            "INSERT INTO reviews (paper_id, reviewer, body, released) VALUES (",
-            str(int(paper_id)), ", '", sql_quote(reviewer), "', '",
-            sql_quote(body), "', ", "1" if released else "0", ")"))
+            body = self.resin.taint(body, ReviewPolicy(paper_id, authors, released))
+        self.env.db.query(
+            concat(
+                "INSERT INTO reviews (paper_id, reviewer, body, released) VALUES (",
+                str(int(paper_id)),
+                ", '",
+                sql_quote(reviewer),
+                "', '",
+                sql_quote(body),
+                "', ",
+                "1" if released else "0",
+                ")",
+            )
+        )
 
     def _paper(self, paper_id: int):
         result = self.env.db.query(
             f"SELECT id, title, abstract, authors, anonymous FROM papers "
-            f"WHERE id = {int(paper_id)}")
+            f"WHERE id = {int(paper_id)}"
+        )
         if not result.rows:
             from ..core.exceptions import HTTPError
+
             raise HTTPError(404, f"no such paper: {paper_id}")
         return result.rows[0]
 
     def _response_for(self, user: Optional[str]) -> HTTPOutputChannel:
-        response = self.env.http_channel(
-            user=user, priv_chair=self.is_chair(user))
+        response = self.env.http_channel(user=user, priv_chair=self.is_chair(user))
         response.context["is_pc"] = self.is_pc_member(user)
         return response
 
-    def paper_page(self, paper_id: int, user: Optional[str],
-                   response: Optional[HTTPOutputChannel] = None
-                   ) -> HTTPOutputChannel:
+    def paper_page(
+        self,
+        paper_id: int,
+        user: Optional[str],
+        response: Optional[HTTPOutputChannel] = None,
+    ) -> HTTPOutputChannel:
         """Generate the paper view page for ``user``.
 
         This is the page measured in Section 7.1: title, abstract and the
@@ -281,8 +339,9 @@ class HotCRP:
         response.write("</body></html>\n")
         return response
 
-    def _write_author_list(self, paper, user: Optional[str],
-                           response: HTTPOutputChannel) -> None:
+    def _write_author_list(
+        self, paper, user: Optional[str], response: HTTPOutputChannel
+    ) -> None:
         if self.use_resin:
             # Always try to show the authors; the AuthorListPolicy raises for
             # anonymous submissions and the handler substitutes "Anonymous".
@@ -301,15 +360,19 @@ class HotCRP:
         else:
             response.write(paper["authors"])
 
-    def review_page(self, paper_id: int, user: Optional[str],
-                    response: Optional[HTTPOutputChannel] = None
-                    ) -> HTTPOutputChannel:
+    def review_page(
+        self,
+        paper_id: int,
+        user: Optional[str],
+        response: Optional[HTTPOutputChannel] = None,
+    ) -> HTTPOutputChannel:
         """Show the reviews of a paper to ``user``."""
         if response is None:
             response = self._response_for(user)
         reviews = self.env.db.query(
             f"SELECT reviewer, body, released FROM reviews "
-            f"WHERE paper_id = {int(paper_id)}")
+            f"WHERE paper_id = {int(paper_id)}"
+        )
         response.write(f"<h1>Reviews for paper #{paper_id}</h1>\n")
         paper = self._paper(paper_id)
         authors = [a.strip() for a in str(paper["authors"]).split(",")]
@@ -317,9 +380,11 @@ class HotCRP:
             if not self.use_resin:
                 # The (correct) explicit check of the original code: only PC
                 # members and authors of released reviews may see a review.
-                allowed = (self.is_pc_member(user) or self.is_chair(user)
-                           or (int(review["released"])
-                               and user in authors))
+                allowed = (
+                    self.is_pc_member(user)
+                    or self.is_chair(user)
+                    or (int(review["released"]) and user in authors)
+                )
                 if not allowed:
                     continue
             response.start_buffering()
@@ -337,8 +402,9 @@ class HotCRP:
 #: ballpark as the 8.5 KB page measured in Section 7.1.
 _BANNER = ("HotCRP conference management " * 8).strip()
 
-_PAGE_FOOTER = (
-    "<div class='footer'>"
-    + ("<span class='nav'>submissions &middot; reviews &middot; profile "
-       "&middot; search &middot; help</span>\n") * 60
-    + "</div>\n")
+_NAV_LINE = (
+    "<span class='nav'>submissions &middot; reviews &middot; profile "
+    "&middot; search &middot; help</span>\n"
+)
+
+_PAGE_FOOTER = "<div class='footer'>" + _NAV_LINE * 60 + "</div>\n"

@@ -35,8 +35,7 @@ class LoginLibrary:
     #: The plain-text credential store, inside the document root.
     PASSWORD_FILE = "/www/site/loginlib/users.txt"
 
-    def __init__(self, env: Optional[Environment] = None,
-                 use_resin: bool = True):
+    def __init__(self, env: Optional[Environment] = None, use_resin: bool = True):
         self.env = env if env is not None else Environment()
         self.resin = Resin(self.env)
         self.use_resin = use_resin
@@ -58,7 +57,8 @@ class LoginLibrary:
             # (no e-mail reminders in this library, so no allowed channel —
             # the account name is not an e-mail address).
             password = self.resin.policy(
-                PasswordPolicy, username, allow_chair=False).on(password)
+                PasswordPolicy, username, allow_chair=False
+            ).on(password)
         line = concat(username, ":", password, "\n")
         self.env.fs.write_text(self.PASSWORD_FILE, line, append=True)
 

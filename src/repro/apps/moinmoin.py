@@ -45,9 +45,12 @@ _INCLUDE_DIRECTIVE = re.compile(r"\{\{include:([A-Za-z0-9_/-]+)\}\}")
 class MoinMoin:
     """The wiki engine."""
 
-    def __init__(self, env: Optional[Environment] = None,
-                 use_resin: bool = True,
-                 use_write_assertion: bool = True):
+    def __init__(
+        self,
+        env: Optional[Environment] = None,
+        use_resin: bool = True,
+        use_write_assertion: bool = True,
+    ):
         self.env = env if env is not None else Environment()
         self.resin = Resin(self.env)
         self.use_resin = use_resin
@@ -67,8 +70,9 @@ class MoinMoin:
         page_dir = self._page_dir(name)
         if not self.env.fs.isdir(page_dir):
             return 0
-        revisions = [int(entry) for entry in self.env.fs.listdir(page_dir)
-                     if entry.isdigit()]
+        revisions = [
+            int(entry) for entry in self.env.fs.listdir(page_dir) if entry.isdigit()
+        ]
         return max(revisions) if revisions else 0
 
     def page_exists(self, name: str) -> bool:
@@ -83,7 +87,8 @@ class MoinMoin:
         world-readable and writable by any known user."""
         for line in str(text).splitlines():
             if line.startswith("#acl "):
-                return ACL.parse(line[len("#acl "):])
+                _, _, spec = line.partition("#acl ")
+                return ACL.parse(spec)
         return ACL({"All": ("read",), "Known": ("read", "write")})
 
     def get_acl(self, name: str) -> ACL:
@@ -104,6 +109,10 @@ class MoinMoin:
         additionally annotated with a ``PagePolicy`` carrying the page's read
         ACL, and (with the write assertion) the page directory gets a
         persistent ``WriteAccessFilter``.
+
+        Revision allocation and the write happen inside one
+        ``fs.transaction`` on the page directory, so two concurrent editors
+        can never claim the same revision number.
         """
         if self.page_exists(name) and not self.may(user, name, "write"):
             raise AccessDenied(f"user {user!r} may not edit page {name!r}")
@@ -115,10 +124,11 @@ class MoinMoin:
         page_dir = self._page_dir(name)
         if not self.env.fs.exists(page_dir):
             self.env.fs.mkdir(page_dir, parents=True)
-        revision = self._latest_revision(name) + 1
         self.env.fs.set_request_context(user=user)
         try:
-            self.env.fs.write_text(self._revision_path(name, revision), text)
+            with self.env.fs.transaction(page_dir):
+                revision = self._latest_revision(name) + 1
+                self.env.fs.write_text(self._revision_path(name, revision), text)
         finally:
             self.env.fs.clear_request_context()
         if self.use_write_assertion:
@@ -133,7 +143,8 @@ class MoinMoin:
         self.env.fs.set_persistent_filter(page_dir, write_filter)
         for entry in self.env.fs.listdir(page_dir):
             self.env.fs.set_persistent_filter(
-                fspath.join(page_dir, entry), write_filter)
+                fspath.join(page_dir, entry), write_filter
+            )
 
     # -- reading ----------------------------------------------------------------------------------
 
@@ -147,9 +158,12 @@ class MoinMoin:
         response = self.env.http_channel(user=user)
         return response
 
-    def view_page(self, name: str, user: Optional[str],
-                  response: Optional[HTTPOutputChannel] = None
-                  ) -> HTTPOutputChannel:
+    def view_page(
+        self,
+        name: str,
+        user: Optional[str],
+        response: Optional[HTTPOutputChannel] = None,
+    ) -> HTTPOutputChannel:
         """The normal page view: MoinMoin's own ACL check plus rendering."""
         if response is None:
             response = self._response_for(user)
@@ -160,9 +174,12 @@ class MoinMoin:
         response.write(self._render(body, user))
         return response
 
-    def raw_action(self, name: str, user: Optional[str],
-                   response: Optional[HTTPOutputChannel] = None
-                   ) -> HTTPOutputChannel:
+    def raw_action(
+        self,
+        name: str,
+        user: Optional[str],
+        response: Optional[HTTPOutputChannel] = None,
+    ) -> HTTPOutputChannel:
         """The *buggy* raw-download action: it forgets the ACL check.
 
         On the unprotected wiki this leaks any page; with the read assertion
@@ -181,7 +198,8 @@ class MoinMoin:
         cursor = 0
         text = str(body)
         for match in _INCLUDE_DIRECTIVE.finditer(text):
-            rendered = rendered + body[cursor:match.start()]
+            start = match.start()
+            rendered = rendered + body[cursor:start]
             included_name = match.group(1)
             if self.page_exists(included_name):
                 # BUG (reproduced): no ACL check on the included page.
@@ -192,14 +210,16 @@ class MoinMoin:
 
     # -- maintenance used by attack scenarios -------------------------------------------------------
 
-    def overwrite_revision(self, name: str, revision: int, text: str,
-                           user: Optional[str]) -> None:
+    def overwrite_revision(
+        self, name: str, revision: int, text: str, user: Optional[str]
+    ) -> None:
         """Directly overwrite an existing revision file (the code path the
         write-ACL assertion protects: without it, any code path that writes
         into the page directory bypasses the ACL)."""
         self.env.fs.set_request_context(user=user)
         try:
-            self.env.fs.write_text(self._revision_path(name, revision),
-                                   to_tainted_str(text))
+            self.env.fs.write_text(
+                self._revision_path(name, revision), to_tainted_str(text)
+            )
         finally:
             self.env.fs.clear_request_context()

@@ -22,43 +22,71 @@ and data read from external sockets as untrusted and requires every
 character of HTML output derived from them to be HTML-sanitized.  Four XSS
 bugs are reproduced, including the whois-lookup path of Section 6.3 where
 the malicious input arrives from a *whois server*, not from the browser.
+
+The running board is published as an **environment service**
+(``env.services``, name :data:`BOARD_SERVICE`): ``ForumMessagePolicy``
+resolves the board through the environment owning the channel being checked,
+so N boards serving concurrently in one interpreter never observe each
+other.  The old module global survives only as a ``DeprecationWarning``
+shim (``phpbb.CURRENT_BOARD``).
 """
 
 from __future__ import annotations
 
-import contextvars
+import warnings
 from typing import Iterable, Optional
 
 from ..channels.httpout import HTTPOutputChannel
 from ..channels.socketchan import SocketChannel
 from ..core.exceptions import AccessDenied, HTTPError
 from ..core.policy import Policy
+from ..core.request_context import current_request
+from ..core.services import resolve_service
 from ..environment import Environment
 from ..policies.untrusted import UntrustedData
 from ..runtime_api import Resin
 from ..tracking.propagation import concat, to_tainted_str
 from ..web.sanitize import html_escape, sql_quote
 
-#: The running board instance; ForumMessagePolicy consults it so that the
-#: assertion reuses the application's own access-control code (the way the
-#: paper's policies use globals like ``$Me``).  The context variable scopes
-#: the lookup per thread/context — concurrent evaluation runs each see the
-#: board they constructed, and a Dispatcher's context snapshot carries the
-#: submitting context's board to its workers.  ``CURRENT_BOARD`` remains as
-#: the process-wide fallback for code that never set the variable (plain
-#: threads outside any dispatcher).
-_BOARD_VAR: contextvars.ContextVar[Optional["PhpBB"]] = \
-    contextvars.ContextVar("phpbb_current_board", default=None)
-CURRENT_BOARD: Optional["PhpBB"] = None
+#: Service name under which a board registers itself on its environment.
+BOARD_SERVICE = "phpbb.board"
+
+#: Backing store for the deprecated ``CURRENT_BOARD`` module attribute: the
+#: most recently constructed board, whatever its environment.  Nothing in
+#: the runtime consults it — it exists only so legacy code reading
+#: ``phpbb.CURRENT_BOARD`` keeps limping along (with a warning) until it
+#: migrates to ``env.services``.
+_LAST_BOARD: Optional["PhpBB"] = None
 
 
-def current_board() -> Optional["PhpBB"]:
-    """The board the calling context is serving (contextvar first, then the
-    process-wide fallback)."""
-    board = _BOARD_VAR.get()
-    if board is not None:
-        return board
-    return CURRENT_BOARD
+def __getattr__(name: str):
+    if name == "CURRENT_BOARD":
+        warnings.warn(
+            "phpbb.CURRENT_BOARD is deprecated: the board is an environment "
+            "service now — resolve it with current_board(env=...) or "
+            "env.services.get(BOARD_SERVICE)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _LAST_BOARD
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def current_board(env: Optional[Environment] = None) -> Optional["PhpBB"]:
+    """The board serving ``env`` (or the active request's environment).
+
+    Boards are environment services: each :class:`PhpBB` registers itself on
+    its own environment, so concurrent deployments resolve independently.
+    With no ``env`` argument the active
+    :class:`~repro.core.request_context.RequestContext` supplies one; outside
+    any request the answer is ``None``.
+    """
+    if env is not None:
+        return env.services.get(BOARD_SERVICE)
+    rctx = current_request()
+    if rctx is not None and rctx.env is not None:
+        return rctx.env.services.get(BOARD_SERVICE)
+    return None
 
 
 class ForumMessagePolicy(Policy):
@@ -72,7 +100,10 @@ class ForumMessagePolicy(Policy):
     def export_check(self, context) -> None:
         if context.get("type") not in self.ENFORCED_TYPES:
             return
-        board = current_board()
+        # The board the assertion consults is the one owning the channel the
+        # data is crossing (context.env.services), falling back to the
+        # active request's environment — never a process-wide global.
+        board = resolve_service(BOARD_SERVICE, context)
         if board is None:
             return
         user = context.get("user") or context.get("email")
@@ -80,50 +111,70 @@ class ForumMessagePolicy(Policy):
             return
         raise AccessDenied(
             f"user {user!r} may not read forum #{self.forum_id}",
-            policy=self, context=context)
+            policy=self,
+            context=context,
+        )
 
 
 class PhpBB:
     """The forum application."""
 
-    def __init__(self, env: Optional[Environment] = None,
-                 use_read_assertion: bool = True,
-                 use_xss_assertion: bool = True):
-        global CURRENT_BOARD
+    def __init__(
+        self,
+        env: Optional[Environment] = None,
+        use_read_assertion: bool = True,
+        use_xss_assertion: bool = True,
+    ):
+        global _LAST_BOARD
         self.env = env if env is not None else Environment()
         self.resin = Resin(self.env)
         self.use_read_assertion = use_read_assertion
         self.use_xss_assertion = use_xss_assertion
         self._setup_schema()
-        CURRENT_BOARD = self
-        _BOARD_VAR.set(self)
+        self.env.services.register(BOARD_SERVICE, self)
+        _LAST_BOARD = self
 
     def _setup_schema(self) -> None:
         db = self.env.db
         db.execute_unchecked(
             "CREATE TABLE IF NOT EXISTS forums "
-            "(forum_id INTEGER, name TEXT, allowed_users TEXT)")
+            "(forum_id INTEGER, name TEXT, allowed_users TEXT)"
+        )
         db.execute_unchecked(
             "CREATE TABLE IF NOT EXISTS messages "
             "(msg_id INTEGER, forum_id INTEGER, author TEXT, subject TEXT, "
-            "body TEXT)")
+            "body TEXT)"
+        )
         db.execute_unchecked(
-            "CREATE TABLE IF NOT EXISTS signatures (user TEXT, signature TEXT)")
+            "CREATE TABLE IF NOT EXISTS signatures (user TEXT, signature TEXT)"
+        )
 
     # -- forums and permissions -----------------------------------------------------
 
-    def create_forum(self, forum_id: int, name: str,
-                     allowed_users: Optional[Iterable[str]] = None) -> None:
+    def create_forum(
+        self,
+        forum_id: int,
+        name: str,
+        allowed_users: Optional[Iterable[str]] = None,
+    ) -> None:
         """Create a forum.  ``allowed_users=None`` means public."""
         allowed = "*" if allowed_users is None else ",".join(allowed_users)
-        self.env.db.query(concat(
-            "INSERT INTO forums (forum_id, name, allowed_users) VALUES (",
-            str(int(forum_id)), ", '", sql_quote(name), "', '",
-            sql_quote(allowed), "')"))
+        self.env.db.query(
+            concat(
+                "INSERT INTO forums (forum_id, name, allowed_users) VALUES (",
+                str(int(forum_id)),
+                ", '",
+                sql_quote(name),
+                "', '",
+                sql_quote(allowed),
+                "')",
+            )
+        )
 
     def user_may_read_forum(self, user: Optional[str], forum_id: int) -> bool:
         result = self.env.db.query(
-            f"SELECT allowed_users FROM forums WHERE forum_id = {int(forum_id)}")
+            f"SELECT allowed_users FROM forums WHERE forum_id = {int(forum_id)}"
+        )
         if not result.rows:
             return False
         allowed = str(result.rows[0]["allowed_users"])
@@ -133,32 +184,50 @@ class PhpBB:
 
     # -- posting ----------------------------------------------------------------------------
 
-    def post_message(self, msg_id: int, forum_id: int, author: str,
-                     subject: str, body: str) -> None:
+    def post_message(
+        self, msg_id: int, forum_id: int, author: str, subject: str, body: str
+    ) -> None:
         body = to_tainted_str(body)
         if self.use_read_assertion:
             # The 23-line read assertion: annotate the message body with a
             # policy that defers to the board's own permission check.
             body = self.resin.taint(body, ForumMessagePolicy(forum_id))
-        self.env.db.query(concat(
-            "INSERT INTO messages (msg_id, forum_id, author, subject, body) "
-            "VALUES (", str(int(msg_id)), ", ", str(int(forum_id)), ", '",
-            sql_quote(author), "', '", sql_quote(subject), "', '",
-            sql_quote(body), "')"))
+        self.env.db.query(
+            concat(
+                "INSERT INTO messages (msg_id, forum_id, author, subject, body) "
+                "VALUES (",
+                str(int(msg_id)),
+                ", ",
+                str(int(forum_id)),
+                ", '",
+                sql_quote(author),
+                "', '",
+                sql_quote(subject),
+                "', '",
+                sql_quote(body),
+                "')",
+            )
+        )
 
     def set_signature(self, user: str, signature: str) -> None:
         signature = to_tainted_str(signature)
         if self.use_xss_assertion:
-            signature = self.resin.taint(signature,
-                                         UntrustedData("signature"))
-        self.env.db.query(concat(
-            "INSERT INTO signatures (user, signature) VALUES ('",
-            sql_quote(user), "', '", sql_quote(signature), "')"))
+            signature = self.resin.taint(signature, UntrustedData("signature"))
+        self.env.db.query(
+            concat(
+                "INSERT INTO signatures (user, signature) VALUES ('",
+                sql_quote(user),
+                "', '",
+                sql_quote(signature),
+                "')",
+            )
+        )
 
     def _message(self, msg_id: int):
         result = self.env.db.query(
             f"SELECT msg_id, forum_id, author, subject, body FROM messages "
-            f"WHERE msg_id = {int(msg_id)}")
+            f"WHERE msg_id = {int(msg_id)}"
+        )
         if not result.rows:
             raise HTTPError(404, f"no such message: {msg_id}")
         return result.rows[0]
@@ -171,17 +240,20 @@ class PhpBB:
 
     # -- message views: one correct path, several buggy ones -----------------------------------
 
-    def view_message(self, msg_id: int, user: Optional[str],
-                     response: Optional[HTTPOutputChannel] = None
-                     ) -> HTTPOutputChannel:
+    def view_message(
+        self,
+        msg_id: int,
+        user: Optional[str],
+        response: Optional[HTTPOutputChannel] = None,
+    ) -> HTTPOutputChannel:
         """The main topic view — permission check present and correct."""
         if response is None:
             response = self._response_for(user)
         message = self._message(msg_id)
         if not self.user_may_read_forum(user, int(message["forum_id"])):
             raise AccessDenied(
-                f"user {user!r} may not read forum "
-                f"#{int(message['forum_id'])}")
+                f"user {user!r} may not read forum #{int(message['forum_id'])}"
+            )
         response.write("<h2>")
         response.write(html_escape(message["subject"]))
         response.write("</h2>\n<div class='post'>")
@@ -189,9 +261,12 @@ class PhpBB:
         response.write("</div>\n")
         return response
 
-    def printable_view(self, msg_id: int, user: Optional[str],
-                       response: Optional[HTTPOutputChannel] = None
-                       ) -> HTTPOutputChannel:
+    def printable_view(
+        self,
+        msg_id: int,
+        user: Optional[str],
+        response: Optional[HTTPOutputChannel] = None,
+    ) -> HTTPOutputChannel:
         """Previously-known bug: the printable view forgets the check."""
         if response is None:
             response = self._response_for(user)
@@ -201,31 +276,42 @@ class PhpBB:
         response.write("</div>\n")
         return response
 
-    def reply_form(self, msg_id: int, user: Optional[str],
-                   response: Optional[HTTPOutputChannel] = None
-                   ) -> HTTPOutputChannel:
+    def reply_form(
+        self,
+        msg_id: int,
+        user: Optional[str],
+        response: Optional[HTTPOutputChannel] = None,
+    ) -> HTTPOutputChannel:
         """Newly-discovered bug (Section 6.3): users may reply to a message
         they cannot read, and the reply form quotes the original message."""
         if response is None:
             response = self._response_for(user)
         message = self._message(msg_id)
-        quoted = concat("[quote=\"", message["author"], "\"]",
-                        message["body"], "[/quote]\n")
+        quoted = concat(
+            '[quote="',
+            message["author"],
+            '"]',
+            message["body"],
+            "[/quote]\n",
+        )
         response.write("<form class='reply'><textarea>")
         response.write(html_escape(quoted))
         response.write("</textarea></form>\n")
         return response
 
-    def rss_feed(self, user: Optional[str],
-                 response: Optional[HTTPOutputChannel] = None
-                 ) -> HTTPOutputChannel:
+    def rss_feed(
+        self,
+        user: Optional[str],
+        response: Optional[HTTPOutputChannel] = None,
+    ) -> HTTPOutputChannel:
         """Plugin bug: the RSS plugin exports recent messages with no
         permission check."""
         if response is None:
             response = self._response_for(user)
         result = self.env.db.query(
             "SELECT msg_id, subject, body FROM messages ORDER BY msg_id DESC "
-            "LIMIT 10")
+            "LIMIT 10"
+        )
         response.write("<rss>\n")
         for row in result:
             response.write("<item><title>")
@@ -236,16 +322,23 @@ class PhpBB:
         response.write("</rss>\n")
         return response
 
-    def search_excerpts(self, needle: str, user: Optional[str],
-                        response: Optional[HTTPOutputChannel] = None
-                        ) -> HTTPOutputChannel:
+    def search_excerpts(
+        self,
+        needle: str,
+        user: Optional[str],
+        response: Optional[HTTPOutputChannel] = None,
+    ) -> HTTPOutputChannel:
         """Plugin bug: the search plugin shows excerpts of matching messages
         with no permission check."""
         if response is None:
             response = self._response_for(user)
-        result = self.env.db.query(concat(
-            "SELECT msg_id, body FROM messages WHERE body LIKE '%",
-            sql_quote(needle), "%'"))
+        result = self.env.db.query(
+            concat(
+                "SELECT msg_id, body FROM messages WHERE body LIKE '%",
+                sql_quote(needle),
+                "%'",
+            )
+        )
         response.write("<ul class='results'>\n")
         for row in result:
             excerpt = row["body"][:60]
@@ -257,65 +350,83 @@ class PhpBB:
 
     # -- cross-site scripting paths --------------------------------------------------------------
 
-    def profile_page(self, user: str, viewer: Optional[str],
-                     response: Optional[HTTPOutputChannel] = None
-                     ) -> HTTPOutputChannel:
+    def profile_page(
+        self,
+        user: str,
+        viewer: Optional[str],
+        response: Optional[HTTPOutputChannel] = None,
+    ) -> HTTPOutputChannel:
         """XSS bug: the profile page renders the user's signature without
         sanitizing it."""
         if response is None:
             response = self._response_for(viewer)
-        result = self.env.db.query(concat(
-            "SELECT signature FROM signatures WHERE user = '",
-            sql_quote(user), "'"))
+        result = self.env.db.query(
+            concat(
+                "SELECT signature FROM signatures WHERE user = '",
+                sql_quote(user),
+                "'",
+            )
+        )
         response.write(f"<h2>Profile: {user}</h2>\n<div class='sig'>")
         if result.rows:
-            response.write(result.rows[0]["signature"])   # BUG: no escaping
+            response.write(result.rows[0]["signature"])  # BUG: no escaping
         response.write("</div>\n")
         return response
 
-    def whois_page(self, hostname: str, whois_server: SocketChannel,
-                   viewer: Optional[str],
-                   response: Optional[HTTPOutputChannel] = None
-                   ) -> HTTPOutputChannel:
+    def whois_page(
+        self,
+        hostname: str,
+        whois_server: SocketChannel,
+        viewer: Optional[str],
+        response: Optional[HTTPOutputChannel] = None,
+    ) -> HTTPOutputChannel:
         """XSS bug via a surprising path (Section 6.3): the whois response is
         included in HTML without sanitization.  With the assertion, the
         socket read is marked untrusted and the HTML guard blocks it."""
         if response is None:
             response = self._response_for(viewer)
         if self.use_xss_assertion:
-            self.resin.assertion("untrusted-input",
-                                 source="whois").install(whois_server)
+            self.resin.assertion("untrusted-input", source="whois").install(
+                whois_server
+            )
         whois_server.write(to_tainted_str(f"QUERY {hostname}\r\n"))
         record = whois_server.read()
         response.write("<h2>whois ")
         response.write(html_escape(hostname))
         response.write("</h2>\n<pre>")
-        response.write(record)                              # BUG: no escaping
+        response.write(record)  # BUG: no escaping
         response.write("</pre>\n")
         return response
 
-    def post_preview(self, subject, body, viewer: Optional[str],
-                     response: Optional[HTTPOutputChannel] = None
-                     ) -> HTTPOutputChannel:
+    def post_preview(
+        self,
+        subject,
+        body,
+        viewer: Optional[str],
+        response: Optional[HTTPOutputChannel] = None,
+    ) -> HTTPOutputChannel:
         """XSS bug: the "preview post" page echoes the submitted subject
         without escaping it."""
         if response is None:
             response = self._response_for(viewer)
         response.write("<h2>")
-        response.write(subject)                             # BUG: no escaping
+        response.write(subject)  # BUG: no escaping
         response.write("</h2>\n<div class='preview'>")
         response.write(html_escape(body))
         response.write("</div>\n")
         return response
 
-    def highlight_search(self, needle, viewer: Optional[str],
-                         response: Optional[HTTPOutputChannel] = None
-                         ) -> HTTPOutputChannel:
+    def highlight_search(
+        self,
+        needle,
+        viewer: Optional[str],
+        response: Optional[HTTPOutputChannel] = None,
+    ) -> HTTPOutputChannel:
         """XSS bug: the search page echoes the search term into the results
         header without escaping it."""
         if response is None:
             response = self._response_for(viewer)
         response.write("<h3>Results for ")
-        response.write(needle)                              # BUG: no escaping
+        response.write(needle)  # BUG: no escaping
         response.write("</h3>\n")
         return response

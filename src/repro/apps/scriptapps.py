@@ -20,8 +20,8 @@ Uploaded files never get the policy, so the interpreter refuses to run them
 """
 
 from __future__ import annotations
-from typing import List, Optional
 
+from typing import List, Optional
 
 from ..environment import Environment
 from ..fs import path as fspath
@@ -43,8 +43,13 @@ VULNERABLE_APPS = (
 class UploadApp:
     """One web application that accepts file uploads into its docroot."""
 
-    def __init__(self, name: str, env: Optional[Environment] = None,
-                 use_resin: bool = True, cve: str = ""):
+    def __init__(
+        self,
+        name: str,
+        env: Optional[Environment] = None,
+        use_resin: bool = True,
+        cve: str = "",
+    ):
         self.name = name
         self.cve = cve
         self.env = env if env is not None else Environment()
@@ -66,8 +71,7 @@ class UploadApp:
         """
         self.env.fs.mkdir(self.upload_dir, parents=True)
         index = fspath.join(self.docroot, "index.php")
-        self.env.fs.write_text(
-            index, "output('<h1>%s</h1>')\n" % self.name)
+        self.env.fs.write_text(index, "output('<h1>%s</h1>')\n" % self.name)
         if self.use_resin:
             self.resin.assertion("script-injection").install()
             self.resin.approve_code(index)
@@ -93,12 +97,14 @@ class UploadApp:
     def run_index(self) -> None:
         """Run the application's own (approved) front page script."""
         self.env.interpreter.execute_file(
-            fspath.join(self.docroot, "index.php"),
-            response=self.env.http_channel())
+            fspath.join(self.docroot, "index.php"), response=self.env.http_channel()
+        )
 
 
 def build_all(use_resin: bool = True) -> List[UploadApp]:
     """Instantiate the five vulnerable applications (each with its own
     environment, as in the evaluation)."""
-    return [UploadApp(name, Environment(), use_resin=use_resin, cve=cve)
-            for name, cve in VULNERABLE_APPS]
+    return [
+        UploadApp(name, Environment(), use_resin=use_resin, cve=cve)
+        for name, cve in VULNERABLE_APPS
+    ]

@@ -42,6 +42,12 @@ class Channel:
             ctx.update(context)
         self.registry = resolve_registry(registry, env)
         self.env = env
+        if env is not None:
+            # Stamp the owning environment on the filter context (as an
+            # attribute, not a mapping key) so policies can resolve
+            # environment services and request-scoped helpers can ignore
+            # foreign-environment requests.
+            ctx.env = env
         default = self.registry.make_default_filter(self.channel_type, ctx)
         self.filter = FilterChain([default], ctx)
         self.context = ctx

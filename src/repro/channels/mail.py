@@ -56,6 +56,9 @@ class MailTransport:
         from ..core.registry import resolve_registry
         self.default_sender = default_sender
         self.registry = resolve_registry(registry, env)
+        #: The owning environment; forwarded to every per-message channel so
+        #: policies can resolve environment services at the e-mail boundary.
+        self.env = env
         self.outbox: List[Message] = []
         self._lock = threading.Lock()
 
@@ -68,7 +71,7 @@ class MailTransport:
         against the recipient in the channel context.
         """
         sender = sender or self.default_sender
-        channel = EmailChannel(to, registry=self.registry)
+        channel = EmailChannel(to, registry=self.registry, env=self.env)
         text = concat("From: ", sender, "\r\nTo: ", to,
                       "\r\nSubject: ", to_tainted_str(subject), "\r\n\r\n",
                       to_tainted_str(body))

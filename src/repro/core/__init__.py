@@ -14,8 +14,10 @@ from .policy import Policy
 from .policyset import PolicySet, as_policyset
 from .registry import (CHANNEL_TYPES, FilterRegistry, default_registry,
                        resolve_registry)
+from .locking import OrderedLockRegistry
 from .request_context import (RequestContext, current_request,
                               request_scoped_context)
+from .services import ServiceRegistry, resolve_service
 from .runtime import OutputBuffer, check_export, make_default_filter
 from .serialization import (deserialize_policy, deserialize_policyset,
                             deserialize_rangemap, dumps_policyset,
@@ -36,6 +38,10 @@ __all__ = [
     "FilterRegistry", "default_registry", "resolve_registry", "CHANNEL_TYPES",
     # request context
     "RequestContext", "current_request", "request_scoped_context",
+    # application services
+    "ServiceRegistry", "resolve_service",
+    # ordered locking (shared by Engine and FileSystem)
+    "OrderedLockRegistry",
     # runtime (make_default_filter resolves against the process-wide
     # registry; prefer env.registry / the Resin facade)
     "OutputBuffer", "check_export", "make_default_filter",

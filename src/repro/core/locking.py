@@ -1,0 +1,94 @@
+"""Deadlock-free ordered lock registry.
+
+The per-table SQL engine (:class:`repro.sql.engine.Engine`) and the
+per-subtree filesystem (:class:`repro.fs.filesystem.FileSystem`) shard one
+coarse lock into many named locks the same way: a registry materializes one
+reentrant lock per *name* on demand, multi-name critical sections acquire in
+sorted-name order, a per-thread stack of held name sets turns an
+out-of-order nested acquisition into an immediate error instead of a
+deadlock, and a single short-lived *registry lock* (the engine's catalog
+lock, the filesystem's dentry lock) guards the directory structure itself
+and is always innermost.  :class:`OrderedLockRegistry` is that machinery,
+shared; the substrates keep only their naming (tables vs. subtree paths)
+and their exception type.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Dict, FrozenSet, Iterator
+
+
+class OrderedLockRegistry:
+    """One reentrant lock per name, acquired only in sorted-name order.
+
+    ``noun`` names the lock domain in error messages (``"table"``,
+    ``"subtree"``); ``error`` is the exception type raised on an ordering
+    violation; ``hint`` finishes the violation message with the fix.
+    """
+
+    def __init__(self, *, noun: str, error: Callable[[str], Exception], hint: str):
+        self._noun = noun
+        self._error = error
+        self._hint = hint
+        #: One reentrant lock per name.  Entries persist for the registry's
+        #: lifetime (across DROP/re-CREATE, unlink/re-create), so every
+        #: thread agrees on the lock identity for a given name.
+        self._locks: Dict[str, threading.RLock] = {}
+        #: Guards the owner's directory structure *and* lock
+        #: materialization.  Innermost by convention: taken last, held only
+        #: across the structural mutation, never while waiting for a named
+        #: lock.
+        self.registry_lock = threading.RLock()
+        #: Per-thread stack of the name sets currently held via
+        #: :meth:`locked` — what lets an ordering violation fail fast.
+        self._held = threading.local()
+
+    def lock(self, name: str) -> threading.RLock:
+        """The lock for ``name`` (created on demand, identity stable)."""
+        lock = self._locks.get(name)
+        if lock is None:
+            with self.registry_lock:
+                lock = self._locks.setdefault(name, threading.RLock())
+        return lock
+
+    def held(self) -> FrozenSet[str]:
+        """The names the calling thread currently holds via :meth:`locked`."""
+        stack = getattr(self._held, "stack", None)
+        if not stack:
+            return frozenset()
+        return frozenset(set().union(*stack))
+
+    @contextlib.contextmanager
+    def locked(self, *names: str) -> Iterator[None]:
+        """Hold the locks of every name in ``names`` (sorted-name order).
+
+        Acquiring in deterministic order means two callers locking
+        overlapping name sets can never deadlock; reentrant per thread.  A
+        nested call may only *add* names that sort after every name already
+        held (re-acquiring held names is always fine) — a nested
+        acquisition that sorts earlier would break the global ordering and
+        could deadlock against another thread, so it raises immediately.
+        """
+        wanted = sorted(set(names))
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        held = set().union(*stack) if stack else set()
+        fresh = [name for name in wanted if name not in held]
+        if fresh and held and min(fresh) < max(held):
+            raise self._error(
+                f"lock ordering violation: cannot acquire {self._noun}(s) "
+                f"{fresh!r} while holding {sorted(held)!r}; {self._hint}"
+            )
+        locks = [self.lock(name) for name in wanted]
+        for lock in locks:
+            lock.acquire()
+        stack.append(set(wanted))
+        try:
+            yield
+        finally:
+            stack.pop()
+            for lock in reversed(locks):
+                lock.release()

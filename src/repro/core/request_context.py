@@ -138,6 +138,20 @@ class RequestContext:
         """The filters this request stacked on ``db`` (in install order)."""
         return tuple(self._db_filters.get(db, ()))
 
+    # -- application services -----------------------------------------------------
+
+    def service(self, name: str, default: Any = None) -> Any:
+        """The application service ``name`` published on this request's
+        environment (``env.services``), or ``default``.
+
+        Handlers use this instead of module globals to reach the running
+        application object (board, wiki, site) for the deployment serving
+        the request."""
+        services = getattr(self.env, "services", None)
+        if services is None:
+            return default
+        return services.get(name, default)
+
     # -- binding ------------------------------------------------------------------
 
     @property

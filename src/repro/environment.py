@@ -24,6 +24,7 @@ from .channels.mail import MailTransport
 from .channels.socketchan import PipeChannel, SocketChannel
 from .channels.sqlchan import Database
 from .core.registry import FilterRegistry, default_registry
+from .core.services import ServiceRegistry
 from .fs.resinfs import ResinFS
 from .interp.interpreter import Interpreter
 from .sql.engine import Engine
@@ -39,10 +40,14 @@ class Environment:
         #: process-wide registry for channel types it does not override.
         self.registry = (registry if registry is not None
                          else FilterRegistry(parent=default_registry()))
+        #: Application services published for this environment (the running
+        #: board, site, wiki, ... that policies consult).  One registry per
+        #: environment, so singletons never leak across concurrent tenants.
+        self.services = ServiceRegistry(env=self)
         self.fs = ResinFS(registry=self.registry, env=self)
         self.db = Database(Engine(), persist_policies=persist_policies,
                            registry=self.registry, env=self)
-        self.mail = MailTransport(registry=self.registry)
+        self.mail = MailTransport(registry=self.registry, env=self)
         self.sessions = SessionStore()
         self.interpreter = Interpreter(self)
 

@@ -466,11 +466,13 @@ def run_all_concurrent(use_resin: bool, workers: int = 16,
     task per scenario, handlers on the executor) — the whole attack suite
     exercising the event-loop front end.
 
-    Each scenario owns its environment (and phpBB publishes its board through
-    a context variable), so N simultaneous attack suites don't leak taint or
-    policy state into each other; results come back in ``SCENARIOS`` order
-    and must match :func:`run_all` verdict-for-verdict under either front
-    end.
+    Each scenario owns its environment (and phpBB publishes its board as an
+    environment service, ``env.services``), so N simultaneous attack suites
+    don't leak taint or policy state into each other, and the filesystem
+    scenarios (MoinMoin write ACL, the file managers' traversal attacks)
+    exercise ``ResinFS``'s per-subtree locks under real concurrency; results
+    come back in ``SCENARIOS`` order and must match :func:`run_all`
+    verdict-for-verdict under either front end.
     """
     if front_end == "async":
         return _run_all_async(use_resin, workers)

@@ -5,5 +5,13 @@ from . import path
 from .filesystem import FileSystem, Inode, Stat
 from .resinfs import FILTER_XATTR, POLICY_XATTR, ResinFS, ResinFile
 
-__all__ = ["path", "FileSystem", "Inode", "Stat", "ResinFS", "ResinFile",
-           "POLICY_XATTR", "FILTER_XATTR"]
+__all__ = [
+    "path",
+    "FileSystem",
+    "Inode",
+    "Stat",
+    "ResinFS",
+    "ResinFile",
+    "POLICY_XATTR",
+    "FILTER_XATTR",
+]

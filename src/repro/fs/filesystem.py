@@ -1,4 +1,4 @@
-"""In-memory filesystem with extended attributes.
+"""In-memory filesystem with extended attributes and per-subtree locking.
 
 This is the storage substrate under the RESIN file channels: a POSIX-flavoured
 tree of directories and regular files, where every inode carries a dict of
@@ -10,13 +10,24 @@ extended attributes.  The paper stores two things in xattrs:
 
 This layer knows nothing about policies or filters — it only stores bytes and
 xattrs.  The RESIN-aware layer is :class:`repro.fs.resinfs.ResinFS`.
+
+Locking mirrors the per-table scheme of :class:`repro.sql.engine.Engine`:
+every *directory* path owns a reentrant **subtree lock** (:meth:`FileSystem
+.subtree_lock`) serializing the logical operations that target its entries,
+and a single short-lived **dentry lock** guards the structural mutation of
+the entry dicts themselves (plus the lock registry).  The dentry lock is
+innermost: taken last, held only across the dict mutation, never while
+waiting for a subtree lock — the exact role the engine's catalog lock plays
+for CREATE/DROP.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional
+import contextlib
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..core.exceptions import FileSystemError
+from ..core.locking import OrderedLockRegistry
 from . import path as fspath
 
 
@@ -63,14 +74,149 @@ class FileSystem:
     All paths are normalized with :func:`repro.fs.path.normalize`; files hold
     raw ``bytes`` (policy-free — policies are stored in xattrs by the layer
     above).
+
+    The filesystem is shared by every request of an environment.  Locking is
+    **per subtree**: each directory path owns a reentrant lock
+    (:meth:`subtree_lock`), so operations under independent directories
+    execute concurrently and only operations targeting entries of the *same*
+    directory serialize.  A short-lived :attr:`dentry_lock` guards the entry
+    dicts themselves (create / unlink / rename and lock creation).
+
+    Lock-ordering rule: multiple subtree locks are always acquired in sorted
+    canonical-path order (:meth:`locked` does this for you; an ancestor
+    always sorts before its descendants), and the dentry lock is *innermost*
+    — taken last, held only across the entry-dict mutation, and never while
+    waiting for a subtree lock.  Following the rule everywhere makes deadlock
+    impossible; :class:`repro.fs.resinfs.ResinFS` uses :meth:`locked` to hold
+    a path's subtree across the multi-step read-modify-write sequences of
+    policy persistence.
     """
 
     def __init__(self):
         self.root = Inode("dir", "/")
+        #: The shared ordered-lock machinery (same as the SQL engine's
+        #: per-table locks): one reentrant lock per directory path,
+        #: sorted-order multi-acquisition, fail-fast ordering violations.
+        self._locking = OrderedLockRegistry(
+            noun="subtree",
+            error=FileSystemError,
+            hint="name every path the compound operation touches in its "
+            "outermost locked()/transaction() call",
+        )
+        #: Guards the :class:`Inode` entry dicts (the namespace, not the
+        #: data) and the subtree-lock registry.  Short-lived and innermost:
+        #: held only while mutating an entry dict or materializing a
+        #: subtree lock, never across a whole logical operation.
+        self.dentry_lock = self._locking.registry_lock
+
+    # -- locking ---------------------------------------------------------------
+
+    @staticmethod
+    def subtree_of(path: str) -> str:
+        """The directory whose subtree lock serializes operations on
+        ``path``: the parent directory for files and nested directories,
+        the root for entries directly under ``/``."""
+        return fspath.dirname(fspath.normalize(path))
+
+    def subtree_lock(self, path: str):
+        """The lock serializing operations under directory ``path`` (created
+        on demand, stable across unlink/re-create of the same path)."""
+        return self._locking.lock(fspath.normalize(path))
+
+    @contextlib.contextmanager
+    def locked(self, *subtrees: str) -> Iterator["FileSystem"]:
+        """Hold the locks of every directory in ``subtrees`` (sorted
+        canonical-path order).
+
+        This is the filesystem's multi-subtree critical section: acquiring
+        in deterministic order means two callers locking overlapping
+        directory sets can never deadlock.  Reentrant per thread, so
+        operations executed inside the block re-acquire their directory's
+        lock harmlessly.
+
+        Nested ``locked`` calls may only *add* directories that sort after
+        every directory already held (re-acquiring held ones is always fine)
+        — a nested acquisition that sorts earlier would break the global
+        ordering and could deadlock against another thread, so it raises
+        :class:`~repro.core.exceptions.FileSystemError` immediately instead.
+        Name every path a compound operation touches in its outermost
+        ``locked``/``transaction`` call.
+        """
+        names = (fspath.normalize(name) for name in subtrees)
+        with self._locking.locked(*names):
+            yield self
+
+    @contextlib.contextmanager
+    def plan_locked(self, plan, *args) -> Iterator["FileSystem"]:
+        """Acquire the subtree set ``plan(*args)`` computes, re-planning
+        until the set is stable across the acquisition.
+
+        The ``*_subtrees`` planners probe the tree lock-free, so a directory
+        may (dis)appear between computing the plan and acquiring its locks —
+        in which case the plan no longer covers the paths the operation must
+        exclude.  This helper loops: plan, acquire, re-plan; on mismatch it
+        releases and starts over, so the body always runs under the lock set
+        that matches the tree it actually sees.  Every namespace mutation
+        (``mkdir``/``unlink``/``rename`` here and their policy-checked
+        twins on :class:`~repro.fs.resinfs.ResinFS`) goes through this.
+        """
+        while True:
+            subtrees = plan(*args)
+            with self.locked(*subtrees):
+                if plan(*args) != subtrees:
+                    continue
+                yield self
+                return
+
+    def mkdir_subtrees(self, path: str, parents: bool = False) -> Tuple[str, ...]:
+        """The subtree set a ``mkdir`` of ``path`` must hold: the parent of
+        every directory the call may create.  Computed *before* locking (the
+        probe is racy — ``plan_locked`` re-plans until it is stable)."""
+        path = fspath.normalize(path)
+        subtrees = {self.subtree_of(path)}
+        if parents:
+            probe = fspath.dirname(path)
+            while probe != "/" and self._lookup(probe) is None:
+                subtrees.add(self.subtree_of(probe))
+                probe = fspath.dirname(probe)
+        return tuple(sorted(subtrees))
+
+    def unlink_subtrees(self, path: str) -> Tuple[str, ...]:
+        """The subtree set an ``unlink`` of ``path`` must hold: the parent
+        directory plus, for a directory victim, the directory itself — so
+        removing a directory mutually excludes the operations working *under*
+        it (a child path always sorts after its parent, so the extra lock is
+        ordering-safe).  Callers re-validate the plan after acquiring
+        (:meth:`unlink` does) because the probe itself is lock-free."""
+        path = fspath.normalize(path)
+        subtrees = {self.subtree_of(path)}
+        if self.isdir(path):
+            subtrees.add(path)
+        return tuple(sorted(subtrees))
+
+    def rename_subtrees(self, src: str, dst: str) -> Tuple[str, ...]:
+        """The subtree set a ``rename`` must hold: both parents, plus — for
+        a directory being moved (or overwritten) — every directory *in* its
+        subtree, so no operation anywhere under the old name can interleave
+        with the move (unlike :meth:`unlink_subtrees`, the victim need not
+        be empty).  Once the set is acquired, creating a new subdirectory
+        under the victim needs one of the held locks, so ``plan_locked``'s
+        revalidation is decisive."""
+        src = fspath.normalize(src)
+        dst = fspath.normalize(dst)
+        subtrees = {self.subtree_of(src), self.subtree_of(dst)}
+        for probe in (src, dst):
+            if self.isdir(probe):
+                subtrees.update(p for p in self.walk(probe) if self.isdir(p))
+        return tuple(sorted(subtrees))
 
     # -- traversal -----------------------------------------------------------
 
     def _lookup(self, path: str) -> Optional[Inode]:
+        # Lock-free namespace *read*: dict lookups are atomic under the GIL
+        # and every mutation of an entry dict happens under the dentry lock.
+        # Taking the dentry lock here would invert the dentry-innermost
+        # ordering for callers that already hold a subtree lock.
         node = self.root
         for part in fspath.parts(path):
             if not node.is_dir:
@@ -110,14 +256,23 @@ class FileSystem:
 
     def listdir(self, path: str) -> List[str]:
         node = self._require(fspath.normalize(path), "dir")
-        return sorted(node.entries)
+        # Snapshot under the dentry lock: entry dicts mutate concurrently
+        # under other subtrees' locks, which this caller need not hold.
+        with self.dentry_lock:
+            return sorted(node.entries)
 
     def stat(self, path: str) -> Stat:
         path = fspath.normalize(path)
         return Stat(path, self._require(path))
 
     def walk(self, top: str = "/") -> Iterator[str]:
-        """Yield every path under ``top`` (depth-first, files and dirs)."""
+        """Yield every path under ``top`` (depth-first, files and dirs).
+
+        Each directory's entry list is snapshotted under the dentry lock
+        (never held across a yield), so the walk is safe under concurrent
+        namespace churn; entries created or removed mid-walk may or may not
+        appear, like ``readdir`` on a live filesystem.
+        """
         top = fspath.normalize(top)
         node = self._require(top)
         stack = [(top, node)]
@@ -125,9 +280,10 @@ class FileSystem:
             current_path, current = stack.pop()
             yield current_path
             if current.is_dir:
-                for name in sorted(current.entries, reverse=True):
-                    stack.append((fspath.join(current_path, name),
-                                  current.entries[name]))
+                with self.dentry_lock:
+                    children = sorted(current.entries.items(), reverse=True)
+                for name, child in children:
+                    stack.append((fspath.join(current_path, name), child))
 
     # -- directory operations -----------------------------------------------------
 
@@ -135,66 +291,86 @@ class FileSystem:
         path = fspath.normalize(path)
         if path == "/":
             return
+        with self.plan_locked(self.mkdir_subtrees, path, parents):
+            self._mkdir_locked(path, parents)
+
+    def _mkdir_locked(self, path: str, parents: bool) -> None:
         parent_path, name = fspath.split(path)
         parent = self._lookup(parent_path)
         if parent is None:
             if not parents:
                 raise FileSystemError(f"no such directory: {parent_path!r}")
-            self.mkdir(parent_path, parents=True)
+            self._mkdir_locked(parent_path, True)
             parent = self._require(parent_path, "dir")
         if not parent.is_dir:
             raise FileSystemError(f"{parent_path!r} is not a directory")
-        existing = parent.entries.get(name)
-        if existing is not None:
-            if existing.is_dir:
-                return
-            raise FileSystemError(f"{path!r} exists and is not a directory")
-        parent.entries[name] = Inode("dir", name)
+        with self.dentry_lock:
+            existing = parent.entries.get(name)
+            if existing is not None:
+                if existing.is_dir:
+                    return
+                raise FileSystemError(f"{path!r} exists and is not a directory")
+            parent.entries[name] = Inode("dir", name)
 
     def unlink(self, path: str) -> None:
         path = fspath.normalize(path)
+        with self.plan_locked(self.unlink_subtrees, path):
+            self._unlink_locked(path)
+
+    def _unlink_locked(self, path: str) -> None:
         parent = self._require_parent(path)
         name = fspath.basename(path)
-        node = parent.entries.get(name)
-        if node is None:
-            raise FileSystemError(f"no such file or directory: {path!r}")
-        if node.is_dir and node.entries:
-            raise FileSystemError(f"directory not empty: {path!r}")
-        del parent.entries[name]
+        with self.dentry_lock:
+            node = parent.entries.get(name)
+            if node is None:
+                raise FileSystemError(f"no such file or directory: {path!r}")
+            if node.is_dir and node.entries:
+                raise FileSystemError(f"directory not empty: {path!r}")
+            del parent.entries[name]
 
     def rename(self, src: str, dst: str) -> None:
         src = fspath.normalize(src)
         dst = fspath.normalize(dst)
+        with self.plan_locked(self.rename_subtrees, src, dst):
+            self._rename_locked(src, dst)
+
+    def _rename_locked(self, src: str, dst: str) -> None:
         node = self._require(src)
         dst_parent = self._require_parent(dst)
         src_parent = self._require_parent(src)
-        del src_parent.entries[fspath.basename(src)]
-        node.name = fspath.basename(dst)
-        dst_parent.entries[node.name] = node
+        with self.dentry_lock:
+            del src_parent.entries[fspath.basename(src)]
+            node.name = fspath.basename(dst)
+            dst_parent.entries[node.name] = node
 
     # -- file data -----------------------------------------------------------------
 
     def create(self, path: str) -> None:
         """Create an empty file (no error if it already exists)."""
         path = fspath.normalize(path)
-        parent = self._require_parent(path)
-        name = fspath.basename(path)
-        node = parent.entries.get(name)
-        if node is None:
-            parent.entries[name] = Inode("file", name)
-        elif not node.is_file:
-            raise FileSystemError(f"{path!r} is a directory")
+        with self.locked(self.subtree_of(path)):
+            parent = self._require_parent(path)
+            name = fspath.basename(path)
+            with self.dentry_lock:
+                node = parent.entries.get(name)
+                if node is None:
+                    parent.entries[name] = Inode("file", name)
+                elif not node.is_file:
+                    raise FileSystemError(f"{path!r} is a directory")
 
     def read_raw(self, path: str) -> bytes:
-        node = self._require(fspath.normalize(path), "file")
-        return node.data
+        path = fspath.normalize(path)
+        with self.locked(self.subtree_of(path)):
+            node = self._require(path, "file")
+            return node.data
 
     def write_raw(self, path: str, data: bytes, append: bool = False) -> None:
         path = fspath.normalize(path)
-        self.create(path)
-        node = self._require(path, "file")
-        data = bytes(data)
-        node.data = node.data + data if append else data
+        with self.locked(self.subtree_of(path)):
+            self.create(path)
+            node = self._require(path, "file")
+            data = bytes(data)
+            node.data = node.data + data if append else data
 
     # -- extended attributes ---------------------------------------------------------
 
@@ -203,12 +379,16 @@ class FileSystem:
         return node.xattrs.get(name, default)
 
     def set_xattr(self, path: str, name: str, value: Any) -> None:
-        node = self._require(fspath.normalize(path))
-        node.xattrs[name] = value
+        path = fspath.normalize(path)
+        with self.locked(self.subtree_of(path)):
+            node = self._require(path)
+            node.xattrs[name] = value
 
     def remove_xattr(self, path: str, name: str) -> None:
-        node = self._require(fspath.normalize(path))
-        node.xattrs.pop(name, None)
+        path = fspath.normalize(path)
+        with self.locked(self.subtree_of(path)):
+            node = self._require(path)
+            node.xattrs.pop(name, None)
 
     def list_xattrs(self, path: str) -> List[str]:
         node = self._require(fspath.normalize(path))

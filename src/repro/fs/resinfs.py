@@ -20,12 +20,21 @@ with the three file-related RESIN mechanisms:
 The current request context (e.g. the authenticated user) is pushed into the
 persistent filters' contexts via :meth:`ResinFS.set_request_context`, mirroring
 how the paper's filters consult application state such as the current user.
+
+Concurrency: every operation holds only the **subtree lock** of the directory
+owning its target path (two ordered subtree locks for :meth:`ResinFS.rename`),
+so requests working under disjoint directories proceed in parallel — the
+filesystem analogue of the SQL engine's per-table locks.  Compound
+read-modify-write sequences use :meth:`ResinFS.transaction`, the analogue of
+``db.transaction(*tables)``.  Persistent filters are *cloned* per invocation
+(each invocation gets its own context), so a filter attached to a shared
+ancestor directory never becomes a hidden channel between concurrent requests.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Any, Dict, List, Optional
+import copy
+from typing import Any, Dict, Iterator, List, Optional
 
 from ..core.context import FilterContext
 from ..core.exceptions import FileSystemError
@@ -51,6 +60,10 @@ class ResinFile:
     Mirrors the paper's byte-level tracking for file data: reads return
     :class:`~repro.tracking.tainted_bytes.TaintedBytes` whose per-byte
     policies come from the file's xattrs, and writes update those xattrs.
+
+    Every handle operation acquires the owning path's subtree lock, so a
+    handle shared between threads stays consistent while handles under
+    disjoint directories never serialize against each other.
     """
 
     def __init__(self, resinfs: "ResinFS", path: str, mode: str = "r"):
@@ -71,23 +84,25 @@ class ResinFile:
 
     def read(self, size: Optional[int] = None) -> TaintedBytes:
         self._check_open()
-        if size is None:
-            chunk = self._data[self._offset:]
-        else:
-            chunk = self._data[self._offset:self._offset + size]
-        self._offset += len(chunk)
-        return chunk
+        with self.fs.raw.locked(self.fs.subtree_of(self.path)):
+            offset = self._offset
+            end = len(self._data) if size is None else offset + size
+            chunk = self._data[offset:end]
+            self._offset += len(chunk)
+            return chunk
 
     def write(self, data) -> int:
         self._check_open()
         if self.mode == "r":
             raise FileSystemError("file opened read-only")
         if isinstance(data, str):
-            data = TaintedStr(data).encode() if not isinstance(
-                data, TaintedStr) else data.encode()
+            data = (
+                data if isinstance(data, TaintedStr) else TaintedStr(data)
+            ).encode()
         elif not isinstance(data, TaintedBytes):
             data = TaintedBytes(bytes(data))
-        self._data = self._data + data
+        with self.fs.raw.locked(self.fs.subtree_of(self.path)):
+            self._data = self._data + data
         return len(data)
 
     def close(self) -> None:
@@ -112,24 +127,60 @@ class ResinFile:
 class ResinFS:
     """Policy- and filter-aware filesystem operations."""
 
-    def __init__(self, raw: Optional[FileSystem] = None, *,
-                 registry=None, env=None):
+    def __init__(self, raw: Optional[FileSystem] = None, *, registry=None, env=None):
         self.raw = raw if raw is not None else FileSystem()
         self.registry = resolve_registry(registry, env)
         self.env = env
         self._request_context: Dict[str, Any] = {}
-        #: Serializes data/xattr read-modify-write sequences (and the shared
-        #: persistent-filter context mutation in ``_prepare_filter``) so the
-        #: filesystem can be shared by concurrent requests.
-        self._lock = threading.RLock()
+
+    # -- locking ---------------------------------------------------------------
+
+    def subtree_of(self, path: str) -> str:
+        """The directory whose subtree lock serializes operations on
+        ``path`` (see :meth:`FileSystem.subtree_of`)."""
+        return self.raw.subtree_of(path)
+
+    def transaction(self, *paths: str):
+        """Hold the subtree locks of every path in ``paths`` for the block.
+
+        The filesystem analogue of ``db.transaction(*tables)``: an
+        application-level read-modify-write (read a file, compute, write it
+        back) names every path it touches up front and holds their subtree
+        locks across the whole sequence, so no concurrent request can
+        interleave.  A path that is an existing directory locks that
+        directory's own subtree (operations on its *entries*); any other
+        path locks its parent directory, matching what ``read_bytes`` /
+        ``write_bytes`` on that path acquire.
+
+        Locks are acquired in sorted canonical-path order; a nested
+        ``transaction`` naming a path that sorts before the ones already
+        held raises :class:`~repro.core.exceptions.FileSystemError`
+        immediately (see :meth:`FileSystem.locked`).  The directory-or-file
+        probe is re-validated after acquisition (``plan_locked``), so the
+        block always holds the subtree matching what the tree actually
+        contains.
+        """
+        return self.raw.plan_locked(self._transaction_subtrees, paths)
+
+    def _transaction_subtrees(self, paths) -> tuple:
+        return tuple(sorted({self._transaction_subtree(p) for p in paths}))
+
+    def _transaction_subtree(self, path: str) -> str:
+        path = fspath.normalize(path)
+        if self.raw.isdir(path):
+            return path
+        return self.raw.subtree_of(path)
 
     # -- request context -------------------------------------------------------
 
     def _active_request(self):
         """The RequestContext owning this filesystem, if one is bound."""
         rctx = current_request()
-        if (rctx is not None and rctx.env is not None
-                and getattr(rctx.env, "fs", None) is self):
+        if (
+            rctx is not None
+            and rctx.env is not None
+            and getattr(rctx.env, "fs", None) is self
+        ):
             return rctx
         return None
 
@@ -182,7 +233,7 @@ class ResinFS:
     def remove_persistent_filter(self, path: str) -> None:
         self.raw.remove_xattr(path, FILTER_XATTR)
 
-    def _guarding_filters(self, path: str):
+    def _guarding_filters(self, path: str) -> Iterator[Filter]:
         """Yield the persistent filters that guard ``path``: the one attached
         to the path itself plus those attached to any ancestor directory.
 
@@ -200,14 +251,30 @@ class ResinFS:
                 return
             current = fspath.dirname(current)
 
-    def _prepare_filter(self, flt: Filter, path: str, op: Optional[str] = None
-                        ) -> Filter:
-        flt.context.update(self.request_context)
-        flt.context.setdefault("type", "file")
-        flt.context["path"] = path
+    def _prepare_filter(
+        self, flt: Filter, path: str, op: Optional[str] = None
+    ) -> Filter:
+        """A per-invocation clone of ``flt`` carrying this operation's
+        context.
+
+        The stored filter object is shared by every path it guards (and, for
+        a filter on an ancestor directory, by every concurrent request
+        working anywhere in that subtree).  Mutating its context in place
+        would make disjoint-subtree operations race on it now that they no
+        longer serialize on a global lock, so each invocation gets a shallow
+        copy with its own merged context instead.
+        """
+        prepared = copy.copy(flt)
+        context = FilterContext()
+        context.update(flt.context)
+        context.env = getattr(flt.context, "env", None)
+        context.update(self.request_context)
+        context.setdefault("type", "file")
+        context["path"] = path
         if op is not None:
-            flt.context["operation"] = op
-        return flt
+            context["operation"] = op
+        prepared.context = context
+        return prepared
 
     def _invoke_persistent_read(self, path: str, data):
         for flt in self._guarding_filters(path):
@@ -224,18 +291,19 @@ class ResinFS:
         ancestors') for a namespace mutation such as create, delete or
         rename."""
         for flt in self._guarding_filters(path):
-            self._prepare_filter(flt, path, op)
-            checker = getattr(flt, "check_mutation", None)
+            prepared = self._prepare_filter(flt, path, op)
+            checker = getattr(prepared, "check_mutation", None)
             if callable(checker):
-                checker(op, path, flt.context)
+                checker(op, path, prepared.context)
             else:
-                flt.filter_write(TaintedStr(path))
+                prepared.filter_write(TaintedStr(path))
 
     # -- default filters -----------------------------------------------------------
 
     def _default_filter(self, path: str) -> Filter:
-        return self.registry.make_default_filter("file", FilterContext(
-            type="file", path=path, **self.request_context))
+        return self.registry.make_default_filter(
+            "file", FilterContext(type="file", path=path, **self.request_context)
+        )
 
     # -- policy persistence -----------------------------------------------------------
 
@@ -261,7 +329,7 @@ class ResinFS:
 
     def read_bytes(self, path: str) -> TaintedBytes:
         path = fspath.normalize(path)
-        with self._lock:
+        with self.raw.locked(self.subtree_of(path)):
             raw_data = self.raw.read_raw(path)
             data = self._load_policies(path, raw_data)
             data = self._invoke_persistent_read(path, data)
@@ -274,11 +342,12 @@ class ResinFS:
     def write_bytes(self, path: str, data, append: bool = False) -> None:
         path = fspath.normalize(path)
         if isinstance(data, str):
-            data = (data if isinstance(data, TaintedStr)
-                    else TaintedStr(data)).encode()
+            data = (
+                data if isinstance(data, TaintedStr) else TaintedStr(data)
+            ).encode()
         elif not isinstance(data, TaintedBytes):
             data = TaintedBytes(bytes(data))
-        with self._lock:
+        with self.raw.locked(self.subtree_of(path)):
             if not self.raw.exists(path):
                 self._check_directory_mutation("create", path)
             data = self._default_filter(path).filter_write(data)
@@ -289,8 +358,9 @@ class ResinFS:
             self.raw.write_raw(path, bytes(data))
             self._store_policies(path, data)
 
-    def write_text(self, path: str, text, append: bool = False,
-                   encoding: str = "utf-8") -> None:
+    def write_text(
+        self, path: str, text, append: bool = False, encoding: str = "utf-8"
+    ) -> None:
         text = text if isinstance(text, TaintedStr) else TaintedStr(text)
         self.write_bytes(path, text.encode(encoding), append=append)
 
@@ -299,38 +369,45 @@ class ResinFS:
     def add_file_policy(self, path: str, policy) -> None:
         """Attach ``policy`` to every byte of an existing file (used by
         installers, e.g. ``make_file_executable`` in Figure 6)."""
-        with self._lock:
+        path = fspath.normalize(path)
+        with self.raw.locked(self.subtree_of(path)):
             data = self.read_bytes(path).with_policy(policy)
-            self.raw.write_raw(fspath.normalize(path), bytes(data))
-            self._store_policies(fspath.normalize(path), data)
+            self.raw.write_raw(path, bytes(data))
+            self._store_policies(path, data)
 
     def file_policies(self, path: str):
         """The policy set stored for a file (without reading it through the
         filters) — what a RESIN-aware web server consults before serving a
         static file."""
         path = fspath.normalize(path)
-        with self._lock:
+        with self.raw.locked(self.subtree_of(path)):
             raw_data = self.raw.read_raw(path)
             return self._load_policies(path, raw_data).policies()
 
     # -- namespace operations ---------------------------------------------------------------
 
     def mkdir(self, path: str, parents: bool = False) -> None:
-        with self._lock:
-            self._check_directory_mutation("mkdir", fspath.normalize(path))
-            self.raw.mkdir(path, parents=parents)
+        path = fspath.normalize(path)
+        if path == "/":
+            return
+        with self.raw.plan_locked(self.raw.mkdir_subtrees, path, parents):
+            self._check_directory_mutation("mkdir", path)
+            self.raw._mkdir_locked(path, parents)
 
     def unlink(self, path: str) -> None:
-        with self._lock:
-            self._check_directory_mutation("unlink", fspath.normalize(path))
-            self.raw.unlink(path)
+        path = fspath.normalize(path)
+        with self.raw.plan_locked(self.raw.unlink_subtrees, path):
+            self._check_directory_mutation("unlink", path)
+            self.raw._unlink_locked(path)
 
     def rename(self, src: str, dst: str) -> None:
-        with self._lock:
-            self._check_directory_mutation("rename", fspath.normalize(src))
-            self._check_directory_mutation("rename", fspath.normalize(dst))
+        src = fspath.normalize(src)
+        dst = fspath.normalize(dst)
+        with self.raw.plan_locked(self.raw.rename_subtrees, src, dst):
+            self._check_directory_mutation("rename", src)
+            self._check_directory_mutation("rename", dst)
             # Carry the source's persistent filter and policies along.
-            self.raw.rename(src, dst)
+            self.raw._rename_locked(src, dst)
 
     def listdir(self, path: str) -> List[str]:
         return self.raw.listdir(path)

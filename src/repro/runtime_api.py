@@ -296,6 +296,17 @@ class Resin:
     def interpreter(self):
         return self.env.interpreter
 
+    @property
+    def services(self):
+        """This environment's application-service registry
+        (:class:`~repro.core.services.ServiceRegistry`)."""
+        return self.env.services
+
+    def service(self, name: str, default: Any = None) -> Any:
+        """The application service ``name`` on this environment, or
+        ``default`` — sugar for ``resin.services.get(name)``."""
+        return self.env.services.get(name, default)
+
     # -- taint / policy primitives (Table 3) ------------------------------------
 
     def taint(self, data: Any, *policies: Policy) -> Any:

@@ -14,9 +14,10 @@ with zero taint or policy leakage between them, and a
 request surfaces only through that request's future.
 
 Each submission captures the caller's :class:`contextvars.Context`, so
-application state published through context variables (e.g. phpBB's current
-board) is visible to the worker, while everything the worker binds stays in
-its private copy::
+context-variable state is visible to the worker while everything the worker
+binds stays in its private copy.  Application singletons (e.g. phpBB's
+board) resolve through ``env.services`` — per environment, not per context —
+so every worker of a deployment sees the same application objects::
 
     app = WebApplication(env)
     with Dispatcher(app, workers=16) as server:

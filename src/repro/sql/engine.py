@@ -11,10 +11,10 @@ from __future__ import annotations
 
 import contextlib
 import re
-import threading
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.exceptions import SQLError
+from ..core.locking import OrderedLockRegistry
 from . import nodes
 from .parser import parse
 
@@ -106,29 +106,25 @@ class Engine:
 
     def __init__(self):
         self.tables: Dict[str, Table] = {}
+        #: The shared ordered-lock machinery (same as the filesystem's
+        #: per-subtree locks): one reentrant lock per table name,
+        #: sorted-order multi-acquisition, fail-fast ordering violations.
+        self._locking = OrderedLockRegistry(
+            noun="table", error=SQLError,
+            hint="name every table the compound operation touches in its "
+                 "outermost locked()/transaction() call")
         #: Guards :attr:`tables` (the directory, not the rows) and the lock
-        #: registry.  Short-lived: held only while creating/dropping a table
-        #: or materializing a table lock, never across statement execution.
-        self.catalog_lock = threading.RLock()
-        #: One reentrant lock per table *name*.  Entries persist across DROP
-        #: and re-CREATE so that every thread agrees on the lock identity for
-        #: a given name for the engine's lifetime.
-        self._table_locks: Dict[str, threading.RLock] = {}
-        #: Per-thread stack of the name sets currently held via
-        #: :meth:`locked` — what lets an ordering violation fail fast
-        #: instead of deadlocking.
-        self._held = threading.local()
+        #: registry.  Short-lived and innermost: held only while
+        #: creating/dropping a table or materializing a table lock, never
+        #: across statement execution.
+        self.catalog_lock = self._locking.registry_lock
 
     # -- locking ----------------------------------------------------------------
 
-    def table_lock(self, name: str) -> threading.RLock:
+    def table_lock(self, name: str):
         """The lock serializing access to table ``name`` (created on demand,
         stable across DROP/CREATE of the same name)."""
-        lock = self._table_locks.get(name)
-        if lock is None:
-            with self.catalog_lock:
-                lock = self._table_locks.setdefault(name, threading.RLock())
-        return lock
+        return self._locking.lock(str(name))
 
     @contextlib.contextmanager
     def locked(self, *names: str) -> Iterator["Engine"]:
@@ -147,28 +143,8 @@ class Engine:
         every table a compound operation touches in its outermost
         ``locked``/``transaction`` call.
         """
-        wanted = sorted(set(str(name) for name in names))
-        stack = getattr(self._held, "stack", None)
-        if stack is None:
-            stack = self._held.stack = []
-        held = set().union(*stack) if stack else set()
-        fresh = [name for name in wanted if name not in held]
-        if fresh and held and min(fresh) < max(held):
-            raise SQLError(
-                f"lock ordering violation: cannot acquire table(s) "
-                f"{fresh!r} while holding {sorted(held)!r}; name every "
-                f"table the compound operation touches in its outermost "
-                f"locked()/transaction() call")
-        locks = [self.table_lock(name) for name in wanted]
-        for lock in locks:
-            lock.acquire()
-        stack.append(set(wanted))
-        try:
+        with self._locking.locked(*(str(name) for name in names)):
             yield self
-        finally:
-            stack.pop()
-            for lock in reversed(locks):
-                lock.release()
 
     @staticmethod
     def statement_tables(statement) -> Tuple[str, ...]:
