@@ -12,6 +12,7 @@ Run with:  python examples/hotcrp_walkthrough.py
 from repro import DisclosureViolation
 from repro.apps.hotcrp import HotCRP
 from repro.environment import Environment
+from repro.web.request import Request
 
 
 def main() -> None:
@@ -48,6 +49,31 @@ def main() -> None:
     print("4. The same page for the program chair shows the authors:")
     page = site.paper_page(7, "chair@example.org").body()
     print("   authors visible:", "victim@example.org" in page)
+
+    print("5. The same flows through the routed web front end:")
+    # Every HotCRP screen is also a method-aware route on site.web
+    # (a repro.web.app.WebApplication built with resin.app); the paper
+    # id is a typed <int:...> route parameter and the principal is
+    # resolved by a request-phase middleware.
+    page = site.web.handle(
+        Request("/paper/7", user="pc@example.org")).body()
+    print("   GET /paper/7 as PC member, author hidden:",
+          "victim@example.org" not in page)
+    print("   GET /paper/oops ->",
+          site.web.handle(Request("/paper/oops",
+                                  user="pc@example.org")).status,
+          "(converter failure is a 404)")
+    print("   DELETE /paper/7 ->",
+          site.web.handle(Request("/paper/7", method="DELETE",
+                                  user="pc@example.org")).status,
+          "(method-aware routing: 405, not 404)")
+    site.email_preview_mode = False
+    reminder = site.web.handle(
+        Request("/password/reminder", method="POST",
+                params={"email": "victim@example.org"},
+                user="victim@example.org"))
+    print("   POST /password/reminder ->", reminder.status,
+          dict(reminder.headers).get("X-Reminder"))
 
 
 if __name__ == "__main__":

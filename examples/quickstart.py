@@ -56,6 +56,42 @@ def main() -> None:
             print("blocked:", exc)
     print("adversary saw:", repr(adversary_page.body()))
 
+    # --- the same boundary behind the routing API --------------------------
+    # resin.app() builds a routed WebApplication; handlers take typed route
+    # parameters, async def handlers are awaited natively on the event loop
+    # by AsyncDispatcher, and the assertion fires at the same HTTP boundary.
+    import asyncio
+
+    app = resin.app("quickstart")
+
+    @app.middleware
+    def resolve_chair(request, response):
+        # middleware replaces the old before_request hooks: resolve the
+        # principal once, every route sees the result
+        if request.user == "chair@example.org":
+            response.set_user(request.user, priv_chair=True)
+
+    @app.route("/password/<owner>")
+    async def show_password(request, response, owner):
+        await asyncio.sleep(0)            # a pretend backend call
+        record = resin.db.query("SELECT password FROM users").rows[0]
+        return "the password is " + record["password"]
+
+    async def serve() -> None:
+        from repro.web.request import Request
+        async with resin.async_dispatcher(app, workers=2) as server:
+            chair_task = server.submit(
+                Request("/password/alice", user="chair@example.org"))
+            print("the chair sees:", (await chair_task).body())
+            mallory_task = server.submit(
+                Request("/password/alice", user="mallory@example.org"))
+            try:
+                await mallory_task
+            except DisclosureViolation as exc:
+                print("blocked on the loop:", exc)
+
+    asyncio.run(serve())
+
 
 if __name__ == "__main__":
     main()

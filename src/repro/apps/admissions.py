@@ -22,6 +22,8 @@ from ..environment import Environment
 from ..policies.untrusted import UntrustedData
 from ..runtime_api import Resin
 from ..tracking.propagation import concat, to_tainted_str
+from ..web.response import Response
+from ..web.routing import UntrustedInputMiddleware
 from ..web.sanitize import sql_quote
 
 
@@ -35,6 +37,49 @@ class AdmissionsSystem:
         self._setup_schema()
         if use_resin:
             self.install_assertion()
+        self.web = self._build_web()
+
+    def _build_web(self):
+        """The committee's routed HTTP front end.
+
+        The public search and the three internal screens become routes; the
+        untrusted-input middleware is the mark-the-inputs half of the
+        assertion at the web boundary (the screens also taint defensively
+        for direct calls).  Note the typed ``<int:...>`` parameter on the
+        lookup route: URL *path* segments are converted — and therefore
+        structurally safe — while the raw query parameters remain the
+        injection surface the assertion guards.
+        """
+        web = self.resin.app("admissions")
+        if self.use_resin:
+            web.middleware(UntrustedInputMiddleware())
+
+        def rows_response(rows) -> Response:
+            return Response(
+                "\n".join(
+                    ", ".join(f"{key}={row[key]}" for key in row.keys())
+                    for row in rows
+                )
+            )
+
+        @web.route("/applicants")
+        def search(request, response):
+            return rows_response(self.search_by_name(request.require("name")))
+
+        @web.route("/applicants/by-area")
+        def by_area(request, response):
+            return rows_response(self.filter_by_area(request.require("area")))
+
+        @web.route("/applicants/<int:applicant_id>")
+        def lookup(request, response, applicant_id):
+            return rows_response(self.lookup_applicant(str(applicant_id)))
+
+        @web.route("/applicants/<int:applicant_id>/decision", methods=["POST"])
+        def decide(request, response, applicant_id):
+            changed = self.update_decision(applicant_id, request.require("decision"))
+            return Response(f"updated {changed} rows")
+
+        return web
 
     def install_assertion(self) -> None:
         """The 9-line SQL-injection assertion: every query issued by the

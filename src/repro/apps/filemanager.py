@@ -25,6 +25,8 @@ from ..fs import path as fspath
 from ..runtime_api import Resin
 from ..security.assertions import WriteAccessFilter
 from ..tracking.propagation import to_tainted_str
+from ..web.response import Response
+from ..web.routing import SessionMiddleware
 
 
 class BaseFileManager:
@@ -45,6 +47,50 @@ class BaseFileManager:
             self.resin.fs.mkdir(self.data_root, parents=True)
         if use_resin:
             self._install_write_assertion()
+        self.web = self._build_web()
+
+    def _build_web(self):
+        """The manager's routed HTTP front end.
+
+        Authentication is cookie-based: ``POST /login`` creates a session,
+        and the stock :class:`~repro.web.routing.SessionMiddleware` resolves
+        it back into ``request.user`` on later requests.  File names are
+        ``path`` parameters, so the traversal payloads of Section 6.2 are
+        expressible through the web surface — and still caught by the
+        write-access assertion underneath.
+        """
+        web = self.resin.app(self.name)
+        web.middleware(SessionMiddleware())
+
+        def require_user(request) -> str:
+            if request.user is None:
+                raise HTTPError(401, "login required")
+            return str(request.user)
+
+        @web.route("/login", methods=["POST"])
+        def login(request, response):
+            user = str(request.require("user"))
+            self.create_account(user)
+            session = self.env.sessions.create(user=user)
+            return Response(session.sid, status=201)
+
+        @web.route("/files")
+        def index(request, response):
+            names = self.list_files(require_user(request))
+            return Response("\n".join(str(name) for name in names))
+
+        @web.route("/files/<path:filename>")
+        def read(request, response, filename):
+            response.write(self.read_file(require_user(request), filename))
+
+        @web.route("/files/<path:filename>", methods=["POST", "PUT"])
+        def save(request, response, filename):
+            target = self.save_file(
+                require_user(request), filename, request.require("content")
+            )
+            return Response(f"stored {target}", status=201)
+
+        return web
 
     # -- the RESIN assertion ----------------------------------------------------------
 

@@ -27,11 +27,29 @@ from typing import List, Optional
 from ..channels.httpout import HTTPOutputChannel
 from ..core.exceptions import AccessDenied, PolicyViolation
 from ..core.policy import Policy
+from ..core.request_context import current_request
 from ..environment import Environment
 from ..policies.password import PasswordPolicy
 from ..runtime_api import Resin
 from ..tracking.propagation import concat, to_tainted_str
+from ..web.response import Response
 from ..web.sanitize import sql_quote
+
+#: Service name under which a site registers itself on its environment.
+SITE_SERVICE = "hotcrp.site"
+
+
+def current_site(env: Optional[Environment] = None) -> Optional["HotCRP"]:
+    """The conference site serving ``env`` (or the active request's
+    environment) — the environment-service analogue of HotCRP's global
+    ``$Me``-style state, scoped so concurrent deployments never mix.
+    """
+    if env is not None:
+        return env.services.get(SITE_SERVICE)
+    rctx = current_request()
+    if rctx is not None and rctx.env is not None:
+        return rctx.env.services.get(SITE_SERVICE)
+    return None
 
 
 class PaperPolicy(Policy):
@@ -126,6 +144,41 @@ class HotCRP:
         #: sending it (the feature that interacts badly with reminders).
         self.email_preview_mode = False
         self._setup_schema()
+        self.env.services.register(SITE_SERVICE, self)
+        self.web = self._build_web()
+
+    def _build_web(self):
+        """The site's routed HTTP front end.
+
+        A request-phase middleware resolves the requesting principal the way
+        ``_response_for`` does for direct calls (PC membership and the chair
+        privilege land on the response channel's context, where the paper /
+        author-list policies look for them); the page methods then stream
+        into the routed response.
+        """
+        web = self.resin.app("hotcrp")
+
+        @web.middleware
+        def resolve_principal(request, response):
+            response.set_user(request.user, priv_chair=self.is_chair(request.user))
+            response.context["is_pc"] = self.is_pc_member(request.user)
+
+        @web.route("/paper/<int:paper_id>")
+        def paper(request, response, paper_id):
+            self.paper_page(paper_id, request.user, response=response)
+
+        @web.route("/paper/<int:paper_id>/reviews")
+        def reviews(request, response, paper_id):
+            self.review_page(paper_id, request.user, response=response)
+
+        @web.route("/password/reminder", methods=["POST"])
+        def remind(request, response):
+            outcome = self.send_password_reminder(
+                str(request.require("email")), response
+            )
+            return Response(status=202).header("X-Reminder", outcome)
+
+        return web
 
     # -- schema and fixtures ----------------------------------------------------------
 

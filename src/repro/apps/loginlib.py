@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..core.exceptions import HTTPError
 from ..environment import Environment
 from ..fs import path as fspath
 from ..policies.password import PasswordPolicy
@@ -23,6 +24,7 @@ from ..runtime_api import Resin
 from ..tracking.propagation import concat, to_tainted_str
 from ..web.app import WebApplication
 from ..web.request import Request
+from ..web.response import Response
 
 
 class LoginLibrary:
@@ -41,6 +43,16 @@ class LoginLibrary:
         self.use_resin = use_resin
         self.web = WebApplication(self.env, name="loginlib-site")
         self.web.add_static_mount("/site", self.DOCROOT)
+
+        @self.web.route("/login", methods=["POST"])
+        def login(request, response):
+            ok = self.authenticate(
+                str(request.require("user")), str(request.require("password"))
+            )
+            if not ok:
+                raise HTTPError(403, "bad credentials")
+            return Response("welcome")
+
         directory = fspath.dirname(self.PASSWORD_FILE)
         if not self.env.fs.exists(directory):
             self.env.fs.mkdir(directory, parents=True)

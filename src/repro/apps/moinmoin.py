@@ -33,11 +33,31 @@ from ..core.exceptions import AccessDenied, HTTPError
 from ..environment import Environment
 from ..fs import path as fspath
 from ..policies.acl import ACL, PagePolicy
+from ..core.request_context import current_request
 from ..runtime_api import Resin
 from ..security.assertions import WriteAccessFilter
 from ..tracking.propagation import to_tainted_str
+from ..web.response import Response
 
 PAGES_ROOT = "/wiki/pages"
+
+#: Service name under which a wiki registers itself on its environment.
+WIKI_SERVICE = "moinmoin.wiki"
+
+
+def current_wiki(env: Optional[Environment] = None) -> Optional["MoinMoin"]:
+    """The wiki serving ``env`` (or the active request's environment).
+
+    Wikis are environment services, like phpBB boards: each
+    :class:`MoinMoin` registers itself on its own environment, so N wikis
+    serving concurrently in one interpreter resolve independently.
+    """
+    if env is not None:
+        return env.services.get(WIKI_SERVICE)
+    rctx = current_request()
+    if rctx is not None and rctx.env is not None:
+        return rctx.env.services.get(WIKI_SERVICE)
+    return None
 
 _INCLUDE_DIRECTIVE = re.compile(r"\{\{include:([A-Za-z0-9_/-]+)\}\}")
 
@@ -57,6 +77,33 @@ class MoinMoin:
         self.use_write_assertion = use_write_assertion
         if not self.env.fs.exists(PAGES_ROOT):
             self.env.fs.mkdir(PAGES_ROOT, parents=True)
+        self.env.services.register(WIKI_SERVICE, self)
+        self.web = self._build_web()
+
+    def _build_web(self):
+        """The wiki's routed HTTP front end.
+
+        Page names are ``path`` parameters (they may contain ``/``); the
+        more specific ``.../raw`` route is registered first because routes
+        match in registration order.  Viewing and editing share one URL
+        space, split by HTTP method.
+        """
+        web = self.resin.app("moinmoin")
+
+        @web.route("/wiki/<path:name>/raw")
+        def raw(request, response, name):
+            self.raw_action(name, request.user, response=response)
+
+        @web.route("/wiki/<path:name>")
+        def view(request, response, name):
+            self.view_page(name, request.user, response=response)
+
+        @web.route("/wiki/<path:name>", methods=["POST"])
+        def edit(request, response, name):
+            revision = self.update_body(name, request.require("text"), request.user)
+            return Response(f"saved revision {revision}", status=201)
+
+        return web
 
     # -- storage layout -----------------------------------------------------------
 

@@ -46,6 +46,8 @@ from ..environment import Environment
 from ..policies.untrusted import UntrustedData
 from ..runtime_api import Resin
 from ..tracking.propagation import concat, to_tainted_str
+from ..web.response import Response
+from ..web.routing import UntrustedInputMiddleware
 from ..web.sanitize import html_escape, sql_quote
 
 #: Service name under which a board registers itself on its environment.
@@ -132,7 +134,62 @@ class PhpBB:
         self.use_xss_assertion = use_xss_assertion
         self._setup_schema()
         self.env.services.register(BOARD_SERVICE, self)
+        self.web = self._build_web()
         _LAST_BOARD = self
+
+    def _build_web(self):
+        """The board's routed HTTP front end.
+
+        Every message view (the correct one and the four buggy ones) is a
+        parameterized route; posting is a separate ``POST`` method on the
+        same URL space, so requesting ``DELETE /topic/7`` is a 405 while
+        ``GET /nonsense`` stays a 404.  With the XSS assertion enabled the
+        untrusted-input middleware marks request parameters and the HTML
+        guard rides on every response channel.
+        """
+        web = self.resin.app("phpbb")
+        if self.use_xss_assertion:
+            web.middleware(UntrustedInputMiddleware())
+            self.resin.assertion("xss").install(web)
+
+        @web.route("/topic/<int:msg_id>")
+        def topic(request, response, msg_id):
+            self.view_message(msg_id, request.user, response=response)
+
+        @web.route("/topic/<int:msg_id>/printable")
+        def printable(request, response, msg_id):
+            self.printable_view(msg_id, request.user, response=response)
+
+        @web.route("/topic/<int:msg_id>/reply")
+        def reply(request, response, msg_id):
+            self.reply_form(msg_id, request.user, response=response)
+
+        @web.route("/topic", methods=["POST"])
+        def post(request, response):
+            self.post_message(
+                int(request.require("msg_id")),
+                int(request.require("forum_id")),
+                request.user,
+                request.require("subject"),
+                request.require("body"),
+            )
+            return Response("posted", status=201)
+
+        @web.route("/rss")
+        def rss(request, response):
+            self.rss_feed(request.user, response=response)
+
+        @web.route("/search")
+        def search(request, response):
+            needle = request.require("q")
+            self.highlight_search(needle, request.user, response=response)
+            self.search_excerpts(needle, request.user, response=response)
+
+        @web.route("/profile/<user>")
+        def profile(request, response, user):
+            self.profile_page(user, request.user, response=response)
+
+        return web
 
     def _setup_schema(self) -> None:
         db = self.env.db

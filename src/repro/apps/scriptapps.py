@@ -29,6 +29,7 @@ from ..runtime_api import Resin
 from ..tracking.propagation import to_tainted_str
 from ..web.app import WebApplication
 from ..web.request import Request
+from ..web.response import Response
 
 #: The five applications of Table 4's "many" row and their CVE identifiers.
 VULNERABLE_APPS = (
@@ -59,6 +60,16 @@ class UploadApp:
         self.upload_dir = fspath.join(self.docroot, "uploads")
         self.web = WebApplication(self.env, name=name)
         self.web.add_static_mount(f"/{name}", self.docroot)
+
+        @self.web.route(f"/{name}/upload", methods=["POST"])
+        def upload_route(request, response):
+            target = self.upload(
+                request.user,
+                str(request.require("filename")),
+                request.require("content"),
+            )
+            return Response(f"stored {target}", status=201)
+
         self._install()
 
     def _install(self) -> None:

@@ -104,6 +104,11 @@ class RequestContext:
         #: The web Request being served, if any (set by WebApplication /
         #: Dispatcher so nested handle() calls recognise their own context).
         self.request = request
+        #: The matched route's name and converted path parameters, filled in
+        #: by :class:`~repro.web.app.WebApplication` once routing resolves
+        #: (``None`` / ``{}`` before dispatch and for unrouted requests).
+        self.route: Optional[str] = None
+        self.route_params: Dict[str, Any] = {}
         #: This request's HTTP output channel (owns the OutputBuffer).
         self.http = http
         #: Additional channel context (e.g. is_pc) supplied by the caller.

@@ -459,62 +459,63 @@ def run_all_concurrent(use_resin: bool, workers: int = 16,
                        front_end: str = "threads") -> List[RowResult]:
     """Run every Table 4 scenario concurrently.
 
-    ``front_end`` picks the dispatch machinery: ``"threads"`` submits the
-    scenarios straight to a thread pool; ``"async"`` serves each scenario as
-    a web request through an
-    :class:`~repro.server.async_dispatcher.AsyncDispatcher` (one asyncio
-    task per scenario, handlers on the executor) — the whole attack suite
-    exercising the event-loop front end.
+    Both front ends serve the suite through the same miniature evaluation
+    service — a routed :class:`~repro.web.app.WebApplication` where
+    ``POST /scenario/<int:index>`` runs row *index* of the table —
+    dispatched either by the thread-pool
+    :class:`~repro.server.dispatcher.Dispatcher` (``front_end="threads"``)
+    or by the event-loop
+    :class:`~repro.server.async_dispatcher.AsyncDispatcher`
+    (``front_end="async"``; the scenario handler is synchronous, so the
+    dispatcher routes it to its executor).
 
-    Each scenario owns its environment (and phpBB publishes its board as an
-    environment service, ``env.services``), so N simultaneous attack suites
-    don't leak taint or policy state into each other, and the filesystem
-    scenarios (MoinMoin write ACL, the file managers' traversal attacks)
-    exercise ``ResinFS``'s per-subtree locks under real concurrency; results
-    come back in ``SCENARIOS`` order and must match :func:`run_all`
-    verdict-for-verdict under either front end.
+    Each scenario owns its environment (and phpBB/MoinMoin/HotCRP publish
+    their board / wiki / site as environment services, ``env.services``), so
+    N simultaneous attack suites don't leak taint or policy state into each
+    other, and the filesystem scenarios (MoinMoin write ACL, the file
+    managers' traversal attacks) exercise ``ResinFS``'s per-subtree locks
+    under real concurrency; results come back in ``SCENARIOS`` order and
+    must match :func:`run_all` verdict-for-verdict under either front end.
     """
-    if front_end == "async":
-        return _run_all_async(use_resin, workers)
-    if front_end != "threads":
+    if front_end not in ("threads", "async"):
         raise ValueError(f"unknown front_end {front_end!r}")
-    from concurrent.futures import ThreadPoolExecutor
-    with ThreadPoolExecutor(max_workers=workers,
-                            thread_name_prefix="table4") as pool:
-        futures = [pool.submit(run_scenario, scenario, use_resin)
-                   for scenario in SCENARIOS]
-        return [future.result() for future in futures]
-
-
-def _run_all_async(use_resin: bool, workers: int) -> List[RowResult]:
-    """The Table 4 suite behind the asyncio front end.
-
-    A miniature evaluation service: ``GET /scenario?index=i`` runs row *i*
-    of the table.  Every request is served inside its own
-    :class:`~repro.core.request_context.RequestContext` on the dispatcher's
-    executor; the scenarios build their own environments underneath, which
-    is exactly the nesting a production deployment has (front-end request
-    scope around application work).
-    """
     from ..server.async_dispatcher import AsyncDispatcher
-    from ..web.app import WebApplication
+    from ..server.dispatcher import Dispatcher
     from ..web.request import Request
+
+    app, results = _build_harness_app(use_resin)
+    requests = [Request(f"/scenario/{index}", method="POST", user="evaluator")
+                for index in range(len(SCENARIOS))]
+    if front_end == "async":
+        with AsyncDispatcher(app, workers=workers) as server:
+            server.run(requests)
+    else:
+        with Dispatcher(app, workers=workers) as server:
+            server.dispatch_all(requests)
+    return [results[index] for index in range(len(SCENARIOS))]
+
+
+def _build_harness_app(use_resin: bool):
+    """The miniature evaluation service behind :func:`run_all_concurrent`.
+
+    Every request is served inside its own
+    :class:`~repro.core.request_context.RequestContext`; the scenarios build
+    their own environments underneath, which is exactly the nesting a
+    production deployment has (front-end request scope around application
+    work).  The route is method-aware and parameterized: the row index is a
+    typed ``<int:...>`` path segment, and only ``POST`` runs a scenario.
+    """
+    from ..web.app import WebApplication
 
     app = WebApplication(Environment(), "table4-harness")
     results: Dict[int, RowResult] = {}
 
-    @app.route("/scenario")
-    def scenario_route(request, response):
-        index = int(request.param("index"))
+    @app.route("/scenario/<int:index>", methods=["POST"])
+    def scenario_route(request, response, index):
         results[index] = run_scenario(SCENARIOS[index], use_resin)
         response.write(f"row {index} done")
 
-    requests = [Request("/scenario", params={"index": str(index)},
-                        user="evaluator")
-                for index in range(len(SCENARIOS))]
-    with AsyncDispatcher(app, workers=workers) as server:
-        server.run(requests)
-    return [results[index] for index in range(len(SCENARIOS))]
+    return app, results
 
 
 def verdicts(results: List[RowResult]) -> List[tuple]:

@@ -417,6 +417,19 @@ class Resin:
             return rctx
         return None
 
+    def app(self, name: str = "app"):
+        """A :class:`~repro.web.app.WebApplication` bound to this
+        environment — the front door of the fluent API::
+
+            app = resin.app("wiki")
+
+            @app.route("/page/<path:name>", methods=["GET"])
+            async def page(request, response, name):
+                ...
+        """
+        from .web.app import WebApplication
+        return WebApplication(self.env, name=name)
+
     def dispatcher(self, app, workers: int = 4):
         """A concurrent :class:`~repro.server.dispatcher.Dispatcher` serving
         ``app`` (a :class:`~repro.web.app.WebApplication`) from this

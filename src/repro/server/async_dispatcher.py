@@ -4,22 +4,32 @@
 :class:`~repro.server.dispatcher.Dispatcher`: it serves a
 :class:`~repro.web.app.WebApplication` from a shared
 :class:`~repro.environment.Environment`, binding every request to its own
-:class:`~repro.core.request_context.RequestContext`.  Handlers are plain
-synchronous functions — each one runs on an executor thread via
-``loop.run_in_executor`` inside a :mod:`contextvars` snapshot of the
-submitting task, so the per-request state (user, HTTP channel, filesystem
-context, database filter overlay) composes with asyncio tasks exactly as it
-does with worker threads.
+:class:`~repro.core.request_context.RequestContext`.  The execution
+substrate is chosen **per route**:
+
+* a request that resolves to an ``async def`` handler is served *natively*
+  on the event loop — the dispatcher binds the ``RequestContext`` in the
+  serving task's own :mod:`contextvars` context and awaits
+  ``app.handle_async(request)`` directly, with no executor hop;
+* everything else (sync handlers, static files, unrouted paths) runs on an
+  executor thread via ``loop.run_in_executor`` inside a contextvars
+  snapshot of the submitting task, exactly as before.
+
+Either way the per-request state (user, HTTP channel, filesystem context,
+database filter overlay) composes with asyncio tasks the same way it does
+with worker threads.
 
 What the event loop adds over the thread-pool front end:
 
 * **Backpressure** — a bounded semaphore caps the number of requests in
   flight; submissions past the cap queue on the loop without consuming a
   thread.
-* **Cancellation** — ``task.cancel()`` abandons a request.  A handler that
-  is already running completes on its executor thread and its
-  ``RequestContext`` unwinds there (the per-request database filter overlay
-  pops with it); a request still queued on the semaphore never starts.
+* **Cancellation** — ``task.cancel()`` abandons a request.  A *native*
+  ``async def`` handler is interrupted at its next suspension point and its
+  ``RequestContext`` unwinds right there on the loop (the per-request
+  database filter overlay pops with it); a sync handler already running
+  completes on its executor thread and unwinds there; a request still
+  queued on the semaphore never starts.
 * **Graceful shutdown** — :meth:`aclose` stops accepting work, waits for
   (or cancels) the in-flight tasks, then releases the executor.
 
@@ -114,6 +124,15 @@ class AsyncDispatcher:
         async with gate:
             self._admitted += 1
             try:
+                if self._is_native_async(request):
+                    # Loop-native path: the coroutine handler is awaited
+                    # right here, inside this task's contextvars binding of
+                    # the RequestContext — no executor hop, and cancelling
+                    # the task unwinds context and overlays on the loop.
+                    async with RequestContext(
+                        env=self.resin.env, user=request.user, request=request
+                    ):
+                        return await self.app.handle_async(request)
                 loop = asyncio.get_running_loop()
                 snapshot = contextvars.copy_context()
                 return await loop.run_in_executor(
@@ -158,6 +177,10 @@ class AsyncDispatcher:
     def _serve(self, request: Request):
         with RequestContext(env=self.resin.env, user=request.user, request=request):
             return self.app.handle(request)
+
+    def _is_native_async(self, request: Request) -> bool:
+        is_native = getattr(self.app, "is_native_async", None)
+        return bool(is_native(request)) if callable(is_native) else False
 
     def _bind_loop(self) -> asyncio.Semaphore:
         # The admission semaphore belongs to one event loop; re-bind to the

@@ -54,11 +54,13 @@ class Dispatcher:
         if int(workers) < 1:
             raise ValueError("workers must be >= 1")
         from ..runtime_api import Resin
+
         self.app = app
         self.resin = resin if resin is not None else Resin(app.env)
         self.workers = int(workers)
         self._executor = ThreadPoolExecutor(
-            max_workers=self.workers, thread_name_prefix="resin-dispatch")
+            max_workers=self.workers, thread_name_prefix="resin-dispatch"
+        )
         self._closed = False
 
     # -- dispatch ----------------------------------------------------------------
@@ -76,16 +78,16 @@ class Dispatcher:
         return self._executor.submit(snapshot.run, self._serve, request)
 
     def _serve(self, request: Request):
-        with RequestContext(env=self.resin.env, user=request.user,
-                            request=request):
+        with RequestContext(env=self.resin.env, user=request.user, request=request):
             return self.app.handle(request)
 
     def dispatch(self, request: Request):
         """Serve one request synchronously (through the pool)."""
         return self.submit(request).result()
 
-    def dispatch_all(self, requests: Iterable[Request],
-                     return_exceptions: bool = False) -> List:
+    def dispatch_all(
+        self, requests: Iterable[Request], return_exceptions: bool = False
+    ) -> List:
         """Serve many requests concurrently, preserving submission order.
 
         With ``return_exceptions`` the result list holds the exception object
@@ -117,5 +119,7 @@ class Dispatcher:
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
-        return (f"Dispatcher(app={getattr(self.app, 'name', self.app)!r}, "
-                f"workers={self.workers}, {state})")
+        return (
+            f"Dispatcher(app={getattr(self.app, 'name', self.app)!r}, "
+            f"workers={self.workers}, {state})"
+        )

@@ -1,9 +1,37 @@
-"""Web substrate: requests, sessions, routing and sanitizers."""
+"""Web substrate: requests, responses, sessions, routing and sanitizers."""
 
 from .app import WebApplication
 from .request import Request
+from .response import Response
+from .routing import (
+    CatchViolationsMiddleware,
+    MethodNotAllowed,
+    Middleware,
+    Route,
+    RouteMatch,
+    Router,
+    SessionMiddleware,
+    UntrustedInputMiddleware,
+)
 from .sanitize import html_escape, json_encode, sql_quote, strip_tags
 from .session import Session, SessionStore
 
-__all__ = ["WebApplication", "Request", "Session", "SessionStore",
-           "sql_quote", "html_escape", "json_encode", "strip_tags"]
+__all__ = [
+    "WebApplication",
+    "Request",
+    "Response",
+    "Router",
+    "Route",
+    "RouteMatch",
+    "MethodNotAllowed",
+    "Middleware",
+    "SessionMiddleware",
+    "UntrustedInputMiddleware",
+    "CatchViolationsMiddleware",
+    "Session",
+    "SessionStore",
+    "sql_quote",
+    "html_escape",
+    "json_encode",
+    "strip_tags",
+]

@@ -1,28 +1,135 @@
 """A miniature web framework.
 
-``WebApplication`` dispatches :class:`~repro.web.request.Request` objects to
-route handlers, giving each request its own
+``WebApplication`` dispatches :class:`~repro.web.request.Request` objects
+through a :class:`~repro.web.routing.Router` (method-aware, parameterized
+patterns) and a middleware pipeline, giving each request its own
 :class:`~repro.channels.httpout.HTTPOutputChannel` (the RESIN data flow
 boundary to the browser).  It also plays the role of the RESIN-aware web
 server of Section 3.4.1: static files are served only after invoking the
 policies stored in the file's extended attributes, and files with an
 executable extension are run through the interpreter's code-import channel
 rather than served raw.
+
+Handlers take ``(request, response, **route_params)`` and either write to
+the response channel directly or return a value — ``None`` (already
+written), a string (written through the channel), or a
+:class:`~repro.web.response.Response` (status + headers + body, applied
+through the channel).  ``async def`` handlers are first-class: the thread
+front end runs them to completion on a private event loop, while
+:class:`~repro.server.async_dispatcher.AsyncDispatcher` awaits them
+natively on its own loop via :meth:`WebApplication.handle_async` — no
+executor hop.
+
+The pre-routing surface survives one release as shims: assigning into
+``app.routes``, appending to ``app.before_request`` and setting
+``app.catch_violations`` all still work but emit ``DeprecationWarning``
+and delegate to the router / middleware pipeline.
 """
 
 from __future__ import annotations
 
+import asyncio
 import copy
-from typing import Callable, Dict, List, Tuple
+import warnings
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..channels.httpout import HTTPOutputChannel
-from ..core.exceptions import HTTPError, PolicyViolation
+from ..core.exceptions import HTTPError
 from ..core.filter import Filter
 from ..core.request_context import RequestContext, current_request
 from ..fs import path as fspath
 from .request import Request
+from .response import Response
+from .routing import (
+    CatchViolationsMiddleware,
+    FunctionMiddleware,
+    MethodNotAllowed,
+    Middleware,
+    RouteMatch,
+    Router,
+)
 
-Handler = Callable[[Request, HTTPOutputChannel], None]
+Handler = Callable[..., Any]
+
+#: Sentinel: the request phase ran every middleware without short-circuiting.
+_CONTINUE = object()
+
+
+class _LegacyRoutes:
+    """Deprecated dict-shaped view over the router.
+
+    ``app.routes[path] = handler`` and ``app.routes.get(path)`` keep
+    working for one release; both warn and delegate to
+    :class:`~repro.web.routing.Router` (registration accepts any method,
+    which is what the flat dict did).
+    """
+
+    def __init__(self, app: "WebApplication"):
+        self._app = app
+
+    def _warn(self) -> None:
+        warnings.warn(
+            "WebApplication.routes is deprecated: register handlers with "
+            "app.route(pattern, methods=[...]) and look them up through "
+            "app.router",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __setitem__(self, pattern: str, handler: Handler) -> None:
+        self._warn()
+        self._app.router.add(pattern, handler, methods=None)
+
+    def get(self, pattern: str, default: Any = None) -> Any:
+        self._warn()
+        route = self._app.router.literal(pattern)
+        return route.handler if route is not None else default
+
+    def __getitem__(self, pattern: str) -> Handler:
+        handler = self.get(pattern)
+        if handler is None:
+            raise KeyError(pattern)
+        return handler
+
+    def __contains__(self, pattern: str) -> bool:
+        self._warn()
+        return self._app.router.literal(pattern) is not None
+
+    def __len__(self) -> int:
+        return len(self._app.router)
+
+    def __repr__(self) -> str:
+        return f"_LegacyRoutes({[r.pattern for r in self._app.router]!r})"
+
+
+class _LegacyHooks:
+    """Deprecated list-shaped view over the request-phase middlewares.
+
+    ``app.before_request.append(hook)`` warns and registers the hook as a
+    :class:`~repro.web.routing.FunctionMiddleware`.
+    """
+
+    def __init__(self, app: "WebApplication"):
+        self._app = app
+
+    def append(self, hook: Callable[..., Any]) -> None:
+        warnings.warn(
+            "WebApplication.before_request is deprecated: register the hook "
+            "with app.middleware(hook) (request phase)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._app.middleware(hook)
+
+    def __len__(self) -> int:
+        return sum(
+            1
+            for mw in self._app.middlewares
+            if isinstance(mw, FunctionMiddleware) and mw.phase == "request"
+        )
+
+    def __repr__(self) -> str:
+        return f"_LegacyHooks(n={len(self)})"
 
 
 class WebApplication:
@@ -36,23 +143,56 @@ class WebApplication:
     def __init__(self, env, name: str = "app"):
         self.env = env
         self.name = name
-        self.routes: Dict[str, Handler] = {}
+        #: The route table (method-aware, parameterized patterns).
+        self.router = Router()
         self.static_mounts: List[Tuple[str, str]] = []
         self.response_filters: List[Filter] = []
-        #: Called with the request before dispatch; applications use it to
-        #: resolve sessions and mark untrusted input.
-        self.before_request: List[Callable[[Request], None]] = []
-        #: When True, PolicyViolation exceptions escaping a handler become
-        #: HTTP 403 responses instead of propagating to the caller.
-        self.catch_violations = False
+        #: The middleware pipeline, in registration order.
+        self.middlewares: List[Middleware] = []
+        self._legacy_routes = _LegacyRoutes(self)
+        self._legacy_hooks = _LegacyHooks(self)
 
     # -- configuration ------------------------------------------------------------
 
-    def route(self, path: str) -> Callable[[Handler], Handler]:
-        def decorator(handler: Handler) -> Handler:
-            self.routes[path] = handler
-            return handler
-        return decorator
+    def route(
+        self,
+        pattern: str,
+        methods: Optional[Any] = ("GET",),
+        name: Optional[str] = None,
+    ) -> Callable[[Handler], Handler]:
+        """Register a handler: ``@app.route("/paper/<int:pid>",
+        methods=["GET", "POST"])``.  ``methods=None`` serves every method."""
+        return self.router.route(pattern, methods=methods, name=name)
+
+    def middleware(
+        self, middleware: Optional[Any] = None, *, phase: str = "request"
+    ) -> Any:
+        """Add a pipeline stage.
+
+        Accepts a :class:`~repro.web.routing.Middleware` instance, a plain
+        callable (wrapped as a one-phase
+        :class:`~repro.web.routing.FunctionMiddleware`), or no argument —
+        decorator form: ``@app.middleware`` / ``@app.middleware(
+        phase="response")``.
+        """
+        if middleware is None:
+
+            def decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
+                self.middleware(fn, phase=phase)
+                return fn
+
+            return decorator
+        if isinstance(middleware, Middleware):
+            stage = middleware
+        elif callable(middleware):
+            stage = FunctionMiddleware(middleware, phase=phase)
+        else:
+            raise TypeError(
+                f"middleware must be a Middleware or a callable, got {middleware!r}"
+            )
+        stage.bind(self)
+        self.middlewares.append(stage)
+        return middleware
 
     def add_static_mount(self, url_prefix: str, directory: str) -> None:
         """Serve files under ``directory`` at ``url_prefix``."""
@@ -66,7 +206,57 @@ class WebApplication:
         """
         self.response_filters.append(flt)
 
-    # -- request handling ------------------------------------------------------------------
+    # -- deprecated pre-routing surface -------------------------------------------
+
+    @property
+    def routes(self) -> _LegacyRoutes:
+        """Deprecated dict view of the route table (warns on use)."""
+        return self._legacy_routes
+
+    @routes.setter
+    def routes(self, mapping) -> None:
+        # Wholesale reassignment was legal on the old plain attribute; keep
+        # it limping along by registering every entry (the per-item shim
+        # emits the DeprecationWarning).
+        for pattern, handler in dict(mapping).items():
+            self._legacy_routes[pattern] = handler
+
+    @property
+    def before_request(self) -> _LegacyHooks:
+        """Deprecated hook list (warns on append; use :meth:`middleware`)."""
+        return self._legacy_hooks
+
+    @before_request.setter
+    def before_request(self, hooks) -> None:
+        for hook in hooks:
+            self._legacy_hooks.append(hook)
+
+    @property
+    def catch_violations(self) -> bool:
+        """Deprecated flag; the behaviour is
+        :class:`~repro.web.routing.CatchViolationsMiddleware` now."""
+        return any(
+            isinstance(mw, CatchViolationsMiddleware) for mw in self.middlewares
+        )
+
+    @catch_violations.setter
+    def catch_violations(self, value: bool) -> None:
+        warnings.warn(
+            "WebApplication.catch_violations is deprecated: add "
+            "app.middleware(CatchViolationsMiddleware()) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if value and not self.catch_violations:
+            self.middleware(CatchViolationsMiddleware())
+        elif not value:
+            self.middlewares = [
+                mw
+                for mw in self.middlewares
+                if not isinstance(mw, CatchViolationsMiddleware)
+            ]
+
+    # -- request handling ---------------------------------------------------------
 
     def handle(self, request: Request) -> HTTPOutputChannel:
         """Process one request and return the response channel.
@@ -76,49 +266,214 @@ class WebApplication:
         :class:`~repro.server.dispatcher.Dispatcher` already bound for this
         very request, or a fresh one nested inside whatever scope the caller
         holds (``Resin.request`` blocks hand their user back on return).
+        ``async def`` handlers run to completion on a private event loop —
+        use :meth:`handle_async` (or
+        :class:`~repro.server.async_dispatcher.AsyncDispatcher`) to await
+        them on a shared loop instead.
         """
         rctx = current_request()
-        if (rctx is not None and rctx.request is request
-                and rctx.env is self.env):
+        if rctx is not None and rctx.request is request and rctx.env is self.env:
             return self._handle(request, rctx)
-        with RequestContext(env=self.env, user=request.user,
-                            request=request) as rctx:
+        with RequestContext(env=self.env, user=request.user, request=request) as rctx:
             return self._handle(request, rctx)
 
-    def _handle(self, request: Request,
-                rctx: RequestContext) -> HTTPOutputChannel:
+    async def handle_async(self, request: Request) -> HTTPOutputChannel:
+        """Process one request on the running event loop.
+
+        Coroutine handlers are awaited *directly* — no executor hop; their
+        awaits suspend inside the request's
+        :class:`~repro.core.request_context.RequestContext` (a contextvars
+        binding, task-local), and cancelling the awaiting task unwinds the
+        context and its per-request filter overlays.  Sync handlers are
+        called inline — schedule them on an executor (what
+        :class:`~repro.server.async_dispatcher.AsyncDispatcher` does) when
+        they might block the loop.
+        """
+        rctx = current_request()
+        if rctx is not None and rctx.request is request and rctx.env is self.env:
+            return await self._handle_async(request, rctx)
+        async with RequestContext(
+            env=self.env, user=request.user, request=request
+        ) as rctx:
+            return await self._handle_async(request, rctx)
+
+    def is_native_async(self, request: Request) -> bool:
+        """True when ``request`` resolves to an ``async def`` handler — the
+        per-route decision :class:`~repro.server.async_dispatcher
+        .AsyncDispatcher` uses to keep coroutines on the loop and send
+        everything else to its executor.
+
+        The resolved match is cached on the request, so the dispatch that
+        follows does not pay for a second route scan.
+        """
+        try:
+            match = self.router.match(request.path, request.method)
+        except HTTPError:
+            return False
+        if match is not None:
+            request._route_match = (self, request.path, request.method, match)
+        return match is not None and match.route.is_coroutine
+
+    # -- the two dispatch flavours ------------------------------------------------
+
+    def _handle(self, request: Request, rctx: RequestContext) -> HTTPOutputChannel:
+        response = self._begin(request, rctx)
+        ran: List[Middleware] = []
+        try:
+            result = self._request_phase(request, response, ran, rctx)
+            if result is _CONTINUE:
+                match = self._match(request, rctx)
+                if match is None:
+                    self._serve_static(request, response)
+                    result = None
+                else:
+                    result = match.handler(request, response, **match.params)
+                    if asyncio.iscoroutine(result):
+                        # A coroutine handler reached through the sync front
+                        # end (thread dispatcher, direct handle()): run it to
+                        # completion on a private loop.
+                        result = asyncio.run(result)
+            self._apply_result(response, result)
+        except Exception as exc:  # noqa: BLE001 - mapped or re-raised below
+            if not self._handle_exception(request, response, ran, exc):
+                raise
+        self._response_phase(request, response, ran)
+        return response
+
+    async def _handle_async(
+        self, request: Request, rctx: RequestContext
+    ) -> HTTPOutputChannel:
+        response = self._begin(request, rctx)
+        ran: List[Middleware] = []
+        try:
+            result = self._request_phase(request, response, ran, rctx)
+            if result is _CONTINUE:
+                match = self._match(request, rctx)
+                if match is None:
+                    self._serve_static(request, response)
+                    result = None
+                else:
+                    result = match.handler(request, response, **match.params)
+                    if asyncio.iscoroutine(result):
+                        result = await result
+            self._apply_result(response, result)
+        except Exception as exc:  # noqa: BLE001 - mapped or re-raised below
+            if not self._handle_exception(request, response, ran, exc):
+                raise
+        self._response_phase(request, response, ran)
+        return response
+
+    # -- shared plumbing ----------------------------------------------------------
+
+    def _begin(self, request: Request, rctx: RequestContext) -> HTTPOutputChannel:
         response = HTTPOutputChannel({"url": request.path}, env=self.env)
         response.set_user(request.user)
         rctx.http = response
         for flt in self.response_filters:
             response.add_filter(copy.copy(flt))
         self.env.fs.set_request_context(user=request.user)
-        try:
-            for hook in self.before_request:
-                hook(request)
-            handler = self.routes.get(request.path)
-            if handler is not None:
-                handler(request, response)
-            else:
-                self._serve_static(request, response)
-        except HTTPError as exc:
-            response.set_status(exc.status)
-            response.chunks.append(str(exc))
-        except PolicyViolation as exc:
-            if not self.catch_violations:
-                raise
-            response.set_status(403)
-            response.chunks.append(f"Forbidden: {exc}")
         return response
 
-    # -- static files (the RESIN-aware web server) ----------------------------------------------
+    def _request_phase(
+        self,
+        request: Request,
+        response: HTTPOutputChannel,
+        ran: List[Middleware],
+        rctx: RequestContext,
+    ) -> Any:
+        """Run ``process_request`` stages in order; a non-``None`` return
+        short-circuits.  Afterwards the request's (possibly middleware-
+        resolved) user is synchronized onto the context and the channel."""
+        result = _CONTINUE
+        for mw in self.middlewares:
+            ran.append(mw)
+            value = mw.process_request(request, response)
+            if value is not None:
+                result = value
+                break
+        if rctx.user != request.user:
+            rctx.user = request.user
+            rctx.fs_context["user"] = request.user
+            response.set_user(request.user)
+        return result
+
+    def _response_phase(
+        self,
+        request: Request,
+        response: HTTPOutputChannel,
+        ran: List[Middleware],
+    ) -> None:
+        for mw in reversed(ran):
+            mw.process_response(request, response)
+
+    def _match(self, request: Request, rctx: RequestContext) -> Optional[RouteMatch]:
+        cached, request._route_match = request._route_match, None
+        if cached is not None and cached[:3] == (self, request.path, request.method):
+            match = cached[3]
+        else:
+            match = self.router.match(request.path, request.method)
+        if match is not None:
+            rctx.route = match.route.name
+            rctx.route_params = dict(match.params)
+        return match
+
+    def _apply_result(self, response: HTTPOutputChannel, result: Any) -> None:
+        """Emit a handler/middleware result through the channel.
+
+        ``Response`` objects are applied; strings and bytes are written
+        (policies intact, so the boundary check still runs).  Anything else
+        means "the handler wrote to the channel itself" and is ignored —
+        which is also what keeps legacy handlers that ``return
+        response.write(...)`` (an int) working.
+        """
+        if isinstance(result, Response):
+            result.apply(response)
+        elif isinstance(result, (str, bytes)):
+            response.write(result)
+
+    def _handle_exception(
+        self,
+        request: Request,
+        response: HTTPOutputChannel,
+        ran: List[Middleware],
+        exc: Exception,
+    ) -> bool:
+        """Map an exception to a response; False means "re-raise".
+
+        ``process_exception`` hooks run in reverse registration order (a
+        :class:`~repro.web.routing.CatchViolationsMiddleware` turns policy
+        violations into 403s here); :class:`~repro.core.exceptions.HTTPError`
+        has built-in status mapping.  Everything else — including a
+        ``PolicyViolation`` with no catching middleware — propagates to the
+        dispatcher, which confines it to the offending request.
+        """
+        for mw in reversed(ran):
+            value = mw.process_exception(request, response, exc)
+            if value is not None:
+                self._apply_result(response, value)
+                return True
+        if isinstance(exc, HTTPError):
+            response.set_status(exc.status)
+            if isinstance(exc, MethodNotAllowed):
+                response.headers.append(("Allow", ", ".join(exc.allowed)))
+            response.chunks.append(str(exc))
+            return True
+        return False
+
+    # -- static files (the RESIN-aware web server) --------------------------------
 
     def _serve_static(self, request: Request, response: HTTPOutputChannel) -> None:
         for prefix, directory in self.static_mounts:
             if not request.path.startswith(prefix + "/") and request.path != prefix:
                 continue
-            relative = request.path[len(prefix):].lstrip("/")
+            relative = request.path[len(prefix) :].lstrip("/")
             target = fspath.join(directory, relative)
+            # Canonicalize-and-confine: join() resolves ".." lexically, so a
+            # crafted URL ("/static/../secret") lands outside the mounted
+            # directory.  Refuse anything that escaped the mount instead of
+            # serving it.
+            if not fspath.is_inside(target, directory):
+                raise HTTPError(404, f"not found: {request.path}")
             if not self.env.fs.isfile(target):
                 continue
             if fspath.extension(target) in self.SCRIPT_EXTENSIONS:
@@ -133,3 +488,9 @@ class WebApplication:
             response.write(content.decode("utf-8", "replace"))
             return
         raise HTTPError(404, f"not found: {request.path}")
+
+    def __repr__(self) -> str:
+        return (
+            f"WebApplication({self.name!r}, routes={len(self.router)}, "
+            f"middlewares={len(self.middlewares)})"
+        )

@@ -2,10 +2,13 @@
 
 A :class:`Request` models one browser request: method, path, query/form
 parameters, cookies and the authenticated user (resolved by the application
-from credentials or a session).  Parameter values are plain strings; the
-untrusted-input assertion (:func:`repro.security.assertions.mark_request_untrusted`)
-is what annotates them with ``UntrustedData`` — marking inputs is part of an
-assertion, not of the substrate.
+from credentials, or by a
+:class:`~repro.web.routing.SessionMiddleware` from a session cookie).
+Parameter values are plain strings; the untrusted-input assertion
+(:func:`repro.security.assertions.mark_request_untrusted`, usually installed
+as an :class:`~repro.web.routing.UntrustedInputMiddleware`) is what annotates
+them with ``UntrustedData`` — marking inputs is part of an assertion, not of
+the substrate.
 """
 
 from __future__ import annotations
@@ -18,21 +21,33 @@ from ..tracking.tainted_str import TaintedStr
 class Request:
     """One HTTP request."""
 
-    def __init__(self, path: str, method: str = "GET",
-                 params: Optional[Dict[str, Any]] = None,
-                 cookies: Optional[Dict[str, str]] = None,
-                 user: Optional[str] = None,
-                 remote_addr: str = "127.0.0.1",
-                 files: Optional[Dict[str, Any]] = None):
+    def __init__(
+        self,
+        path: str,
+        method: str = "GET",
+        params: Optional[Dict[str, Any]] = None,
+        cookies: Optional[Dict[str, str]] = None,
+        user: Optional[str] = None,
+        remote_addr: str = "127.0.0.1",
+        files: Optional[Dict[str, Any]] = None,
+    ):
         self.path = str(path)
         self.method = method.upper()
         self.params: Dict[str, Any] = dict(params or {})
         self.cookies: Dict[str, str] = dict(cookies or {})
         self.files: Dict[str, Any] = dict(files or {})
         #: The authenticated user, or None for anonymous requests.  Set by
-        #: the application's authentication step (or directly by tests).
+        #: the application's authentication step, a session middleware, or
+        #: directly by tests.
         self.user = user
         self.remote_addr = remote_addr
+        #: The server-side session resolved for this request, if any (set by
+        #: :class:`~repro.web.routing.SessionMiddleware`).
+        self.session = None
+        # One-shot (app, RouteMatch) cache filled by
+        # WebApplication.is_native_async and consumed by the dispatch that
+        # follows, so the route table is scanned once per request.
+        self._route_match = None
 
     def param(self, name: str, default: Any = None) -> Any:
         return self.params.get(name, default)
@@ -40,12 +55,14 @@ class Request:
     def require(self, name: str) -> Any:
         if name not in self.params:
             from ..core.exceptions import HTTPError
+
             raise HTTPError(400, f"missing parameter {name!r}")
         return self.params[name]
 
     def mark_params(self, policy) -> None:
         """Attach ``policy`` to every string parameter and uploaded file."""
         from ..core.api import policy_add
+
         for key, value in list(self.params.items()):
             if isinstance(value, str):
                 self.params[key] = policy_add(TaintedStr(value), policy)

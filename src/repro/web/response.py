@@ -1,0 +1,80 @@
+"""The unified ``Response`` object.
+
+Handlers used to mutate their :class:`~repro.channels.httpout.HTTPOutputChannel`
+directly (``response.set_status(...)``, ``response.write(...)``).  That still
+works — the channel *is* the RESIN boundary — but a handler can now instead
+*return* a :class:`Response`: a plain value describing status, headers and
+body, which the application applies to the request's channel afterwards.
+
+The application of a ``Response`` is where the data crosses the boundary:
+every body chunk goes through ``channel.write`` (and therefore through the
+channel's filter chain and every chunk's policies), and every header goes
+through ``channel.add_header``.  Building a ``Response`` never checks
+anything; a handler can assemble a page of data it is not allowed to
+disclose and the assertion still fires — at apply time, inside the
+application's violation handling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Tuple
+
+
+class Response:
+    """A handler's description of one HTTP response.
+
+    Fluent: ``Response("hello").set_status(201).header("X-Kind", "demo")``.
+    A plain string returned from a handler is shorthand for
+    ``Response(body)``.
+    """
+
+    def __init__(
+        self,
+        body: Any = None,
+        status: int = 200,
+        headers: Optional[Iterable[Tuple[str, Any]]] = None,
+    ):
+        self.status = int(status)
+        self.headers: List[Tuple[str, Any]] = list(headers or [])
+        self.chunks: List[Any] = []
+        if body is not None:
+            self.chunks.append(body)
+
+    # -- building -----------------------------------------------------------------
+
+    def write(self, data: Any) -> "Response":
+        """Append a body chunk (policies on ``data`` are preserved — they
+        are checked when the response is applied to the channel)."""
+        self.chunks.append(data)
+        return self
+
+    def set_status(self, status: int) -> "Response":
+        self.status = int(status)
+        return self
+
+    def header(self, name: str, value: Any) -> "Response":
+        self.headers.append((name, value))
+        return self
+
+    @classmethod
+    def redirect(cls, location: str, status: int = 302) -> "Response":
+        """A redirect response; the ``Location`` header crosses the filter
+        chain like any other header (response-splitting stays checked)."""
+        return cls(status=status, headers=[("Location", location)])
+
+    # -- crossing the boundary ----------------------------------------------------
+
+    def apply(self, channel) -> None:
+        """Emit this response through ``channel`` — the point where status,
+        headers and every body chunk actually cross the HTTP boundary."""
+        channel.set_status(self.status)
+        for name, value in self.headers:
+            channel.add_header(name, value)
+        for chunk in self.chunks:
+            channel.write(chunk)
+
+    def __repr__(self) -> str:
+        return (
+            f"Response(status={self.status}, headers={len(self.headers)}, "
+            f"chunks={len(self.chunks)})"
+        )

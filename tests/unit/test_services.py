@@ -175,3 +175,77 @@ class TestPhpBBBoardService:
             thread.join(timeout=10)
         assert outcomes["a"] == ("denied", None)     # A never admits auditor
         assert outcomes["b"] == ("ok", True)         # B does
+
+
+class TestHotCRPSiteService:
+    def _site(self, **kwargs):
+        from repro.apps.hotcrp import HotCRP
+        site = HotCRP(Environment(), **kwargs)
+        site.register_user("victim@example.org", "victim-password")
+        return site
+
+    def test_site_registered_as_environment_service(self):
+        from repro.apps import hotcrp
+        site = self._site()
+        assert site.env.services.get(hotcrp.SITE_SERVICE) is site
+        assert hotcrp.current_site(env=site.env) is site
+        assert resolve_service(hotcrp.SITE_SERVICE,
+                               site.env.http_channel().context) is site
+
+    def test_current_site_resolves_through_request_context(self):
+        from repro.apps import hotcrp
+        site = self._site()
+        assert hotcrp.current_site() is None
+        with RequestContext(env=site.env, user="victim@example.org"):
+            assert hotcrp.current_site() is site
+
+    def test_two_sites_isolated_across_environments(self):
+        from repro.apps import hotcrp
+        site_a = self._site()
+        site_b = self._site()
+        assert hotcrp.current_site(env=site_a.env) is site_a
+        assert hotcrp.current_site(env=site_b.env) is site_b
+        assert site_a.env.services.get(hotcrp.SITE_SERVICE) is not site_b
+
+
+class TestMoinMoinWikiService:
+    def _wiki(self, **kwargs):
+        from repro.apps.moinmoin import MoinMoin
+        wiki = MoinMoin(Environment(), **kwargs)
+        wiki.update_body("Front", "#acl All:read alice:read,write\nhello",
+                         "alice")
+        return wiki
+
+    def test_wiki_registered_as_environment_service(self):
+        from repro.apps import moinmoin
+        wiki = self._wiki()
+        assert wiki.env.services.get(moinmoin.WIKI_SERVICE) is wiki
+        assert moinmoin.current_wiki(env=wiki.env) is wiki
+        assert resolve_service(moinmoin.WIKI_SERVICE,
+                               wiki.env.http_channel().context) is wiki
+
+    def test_current_wiki_resolves_through_request_context(self):
+        from repro.apps import moinmoin
+        wiki = self._wiki()
+        assert moinmoin.current_wiki() is None
+        with RequestContext(env=wiki.env, user="alice"):
+            assert moinmoin.current_wiki() is wiki
+
+    def test_two_wikis_isolated_across_environments(self):
+        """Same page names, different content and ACLs: each environment's
+        routed front end serves (and denies) from its own wiki only."""
+        from repro.apps import moinmoin
+        from repro.web import Request
+        wiki_a = self._wiki()
+        wiki_b = self._wiki()
+        wiki_b.update_body("Front",
+                           "#acl bob:read alice:read,write\nB-only text",
+                           "alice")
+        assert moinmoin.current_wiki(env=wiki_a.env) is wiki_a
+        assert moinmoin.current_wiki(env=wiki_b.env) is wiki_b
+        page_a = wiki_a.web.handle(Request("/wiki/Front", user="carol"))
+        assert "hello" in page_a.body()
+        with pytest.raises(AccessDenied):
+            wiki_b.web.handle(Request("/wiki/Front", user="carol"))
+        page_b = wiki_b.web.handle(Request("/wiki/Front", user="bob"))
+        assert "B-only text" in page_b.body()

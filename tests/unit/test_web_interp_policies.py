@@ -117,8 +117,9 @@ class TestWebApplication:
             app.handle(Request("/leak", user="mallory"))
 
     def test_policy_violation_becomes_403_when_caught(self, env):
+        from repro.web import CatchViolationsMiddleware
         app = WebApplication(env)
-        app.catch_violations = True
+        app.middleware(CatchViolationsMiddleware())
         secret = policy_add("pw", PasswordPolicy("owner@example.org"))
 
         @app.route("/leak")
@@ -127,9 +128,9 @@ class TestWebApplication:
 
         assert app.handle(Request("/leak", user="mallory")).status == 403
 
-    def test_before_request_hooks_run(self, env):
+    def test_request_middleware_runs_before_handler(self, env):
         app = WebApplication(env)
-        app.before_request.append(mark_request_untrusted)
+        app.middleware(mark_request_untrusted)
 
         @app.route("/echo")
         def echo(request, response):
