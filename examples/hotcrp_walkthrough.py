@@ -75,6 +75,32 @@ def main() -> None:
     print("   POST /password/reminder ->", reminder.status,
           dict(reminder.headers).get("X-Reminder"))
 
+    print("6. The same site on a real HTTP/1.1 socket:")
+    # HTTPServer puts a loopback listener in front of the same routed
+    # application; the pages below travel over an actual TCP connection
+    # and cross the same channel boundary, assertions included.
+    import http.client
+
+    from repro.server.http import HTTPServer, ServerHandle
+
+    server = HTTPServer(site.web, user_header="x-resin-user")
+    with ServerHandle(server).start() as handle:
+        conn = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                          timeout=5)
+        try:
+            conn.request("GET", "/paper/7",
+                         headers={"X-Resin-User": "pc@example.org"})
+            page = conn.getresponse().read().decode("utf-8")
+            print("   GET /paper/7 over the socket, author hidden:",
+                  "victim@example.org" not in page)
+            conn.request("GET", "/paper/7",
+                         headers={"X-Resin-User": "chair@example.org"})
+            page = conn.getresponse().read().decode("utf-8")
+            print("   ... and for the chair, authors visible:",
+                  "victim@example.org" in page)
+        finally:
+            conn.close()
+
 
 if __name__ == "__main__":
     main()

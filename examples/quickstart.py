@@ -92,6 +92,28 @@ def main() -> None:
 
     asyncio.run(serve())
 
+    # --- the same application on a real socket ------------------------------
+    # resin.serve() binds an HTTP/1.1 listener (on a background thread) in
+    # front of the async dispatcher; the page crosses the very same channel
+    # boundary, now reached through an actual TCP connection.
+    import http.client
+
+    with resin.serve(app, user_header="x-resin-user") as handle:
+        conn = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=5)
+        try:
+            conn.request("GET", "/password/alice",
+                         headers={"X-Resin-User": "chair@example.org"})
+            page = conn.getresponse()
+            print("over the socket, the chair sees:",
+                  page.read().decode("utf-8"))
+            conn.request("GET", "/password/alice",
+                         headers={"X-Resin-User": "mallory@example.org"})
+            denied = conn.getresponse()
+            print("over the socket, mallory gets:", denied.status,
+                  denied.read().decode("utf-8").strip())
+        finally:
+            conn.close()
+
 
 if __name__ == "__main__":
     main()

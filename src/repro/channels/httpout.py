@@ -28,6 +28,13 @@ class HTTPOutputChannel(Channel):
         self.status = 200
         self.headers: List[tuple] = []
         self.buffer = OutputBuffer(self._deliver)
+        #: A deferred streaming body (a :class:`~repro.web.response.Response`
+        #: whose stream chunks were not drained at apply time).  Set by the
+        #: application when the request came through a streaming consumer —
+        #: the socket server — which drains it piece by piece through
+        #: :meth:`write`, so each piece is checked at this boundary just
+        #: before it goes out as one chunked transfer-encoding frame.
+        self.pending_stream = None
 
     # -- channel context helpers --------------------------------------------------
 

@@ -92,6 +92,14 @@ class Policy:
         }
 
     def _identity(self):
+        # Value-object contract: fields are fixed once the policy is in
+        # use, so the identity tuple is computed once per instance.  The
+        # cache lives in __dict__ under a leading underscore, invisible to
+        # serializable_fields and to serialization.
+        cached = self.__dict__.get("_identity_cache")
+        if cached is not None:
+            return cached
+
         def freeze(value):
             if isinstance(value, dict):
                 return tuple(sorted((k, freeze(v)) for k, v in value.items()))
@@ -101,7 +109,9 @@ class Policy:
                 return tuple(sorted(freeze(v) for v in value))
             return value
 
-        return (type(self), freeze(self.serializable_fields()))
+        identity = (type(self), freeze(self.serializable_fields()))
+        self.__dict__["_identity_cache"] = identity
+        return identity
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Policy):
@@ -109,11 +119,16 @@ class Policy:
         return self._identity() == other._identity()
 
     def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash_cache")
+        if cached is not None:
+            return cached
         try:
-            return hash(self._identity())
+            value = hash(self._identity())
         except TypeError:
             # Unhashable field values: fall back to identity hashing.
-            return object.__hash__(self)
+            value = object.__hash__(self)
+        self.__dict__["_hash_cache"] = value
+        return value
 
     def __repr__(self) -> str:
         fields = ", ".join(

@@ -13,15 +13,28 @@ from typing import Iterable, Iterator, Optional, Tuple, Type
 from .policy import Policy, validate_policies
 
 
+def _sort_key(policy: Policy) -> Tuple[str, str]:
+    """The deterministic ordering key, computed once per policy instance
+    (repr walks the serializable fields; value objects never change them)."""
+    key = policy.__dict__.get("_sort_key_cache")
+    if key is None:
+        key = (type(policy).__name__, repr(policy))
+        policy.__dict__["_sort_key_cache"] = key
+    return key
+
+
 class PolicySet:
     """An immutable set of :class:`~repro.core.policy.Policy` objects."""
 
     __slots__ = ("_policies", "_hash")
 
     def __init__(self, policies: Iterable[Policy] = ()):
-        self._policies: Tuple[Policy, ...] = tuple(
-            sorted(validate_policies(policies),
-                   key=lambda p: (type(p).__name__, repr(p))))
+        validated = validate_policies(policies)
+        if len(validated) > 1:
+            self._policies: Tuple[Policy, ...] = tuple(
+                sorted(validated, key=_sort_key))
+        else:  # nothing to order — the overwhelmingly common case
+            self._policies = tuple(validated)
         self._hash: Optional[int] = None
 
     # -- factory helpers ---------------------------------------------------
@@ -49,7 +62,12 @@ class PolicySet:
         return PolicySet(p for p in self._policies if p != policy)
 
     def union(self, other: Iterable[Policy]) -> "PolicySet":
-        return PolicySet(tuple(self._policies) + tuple(other))
+        extra = tuple(other)
+        if not extra:
+            return self
+        if not self._policies and isinstance(other, PolicySet):
+            return other
+        return PolicySet(self._policies + extra)
 
     def intersection(self, other: Iterable[Policy]) -> "PolicySet":
         other_set = set(other)

@@ -467,7 +467,12 @@ def run_all_concurrent(use_resin: bool, workers: int = 16,
     or by the event-loop
     :class:`~repro.server.async_dispatcher.AsyncDispatcher`
     (``front_end="async"``; the scenario handler is synchronous, so the
-    dispatcher routes it to its executor).
+    dispatcher routes it to its executor), or over real loopback sockets
+    through the HTTP/1.1 front end (``front_end="socket"``: an
+    :class:`~repro.server.http.HTTPServer` on a background thread, one
+    ``http.client`` POST per scenario from ``workers`` concurrent client
+    threads, the evaluator principal carried in an ``X-Resin-User``
+    header).
 
     Each scenario owns its environment (and phpBB/MoinMoin/HotCRP publish
     their board / wiki / site as environment services, ``env.services``), so
@@ -477,13 +482,16 @@ def run_all_concurrent(use_resin: bool, workers: int = 16,
     under real concurrency; results come back in ``SCENARIOS`` order and
     must match :func:`run_all` verdict-for-verdict under either front end.
     """
-    if front_end not in ("threads", "async"):
+    if front_end not in ("threads", "async", "socket"):
         raise ValueError(f"unknown front_end {front_end!r}")
     from ..server.async_dispatcher import AsyncDispatcher
     from ..server.dispatcher import Dispatcher
     from ..web.request import Request
 
     app, results = _build_harness_app(use_resin)
+    if front_end == "socket":
+        _run_scenarios_over_socket(app, workers)
+        return [results[index] for index in range(len(SCENARIOS))]
     requests = [Request(f"/scenario/{index}", method="POST", user="evaluator")
                 for index in range(len(SCENARIOS))]
     if front_end == "async":
@@ -493,6 +501,45 @@ def run_all_concurrent(use_resin: bool, workers: int = 16,
         with Dispatcher(app, workers=workers) as server:
             server.dispatch_all(requests)
     return [results[index] for index in range(len(SCENARIOS))]
+
+
+def _run_scenarios_over_socket(app, workers: int) -> None:
+    """POST every scenario to a live :class:`~repro.server.http.HTTPServer`.
+
+    The server trusts the ``X-Resin-User`` header for the principal (the
+    harness plays ``evaluator``, matching the in-process front ends), and
+    the scenario requests are issued from ``workers`` concurrent client
+    threads so the suite exercises real keep-alive connections under
+    parallel load.  Any non-200 response fails the run loudly rather than
+    silently dropping a row.
+    """
+    import http.client
+    from concurrent.futures import ThreadPoolExecutor
+
+    from ..server.http import HTTPServer, ServerHandle
+
+    server = HTTPServer(app, workers=workers, user_header="x-resin-user",
+                        read_timeout=60.0, write_timeout=60.0)
+
+    def post_scenario(index: int) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                          timeout=60)
+        try:
+            conn.request("POST", f"/scenario/{index}",
+                         headers={"X-Resin-User": "evaluator"})
+            reply = conn.getresponse()
+            body = reply.read()
+            if reply.status != 200:
+                raise RuntimeError(
+                    f"scenario {index} returned HTTP {reply.status}: "
+                    f"{body[:200]!r}")
+        finally:
+            conn.close()
+
+    with ServerHandle(server).start() as handle:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for outcome in pool.map(post_scenario, range(len(SCENARIOS))):
+                pass  # re-raises the first client-side failure
 
 
 def _build_harness_app(use_resin: bool):

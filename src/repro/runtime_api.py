@@ -447,5 +447,32 @@ class Resin:
         return AsyncDispatcher(app, workers=workers,
                                max_in_flight=max_in_flight, resin=self)
 
+    def serve_async(self, app, host: str = "127.0.0.1", port: int = 0,
+                    **options: Any):
+        """A real HTTP/1.1 socket server
+        (:class:`~repro.server.http.HTTPServer`) in front of ``app``, not
+        yet bound — ``async with resin.serve_async(app) as server:`` binds
+        the listening socket and drains it on exit.  ``options`` are the
+        ``HTTPServer`` keyword arguments (workers, timeouts, parser limits,
+        ``user_header`` for trusted harnesses, ...)."""
+        from .server.http import HTTPServer
+        options.setdefault("resin", self)
+        return HTTPServer(app, host=host, port=port, **options)
+
+    def serve(self, app, host: str = "127.0.0.1", port: int = 0,
+              **options: Any):
+        """Serve ``app`` over a loopback (or given) socket from a
+        background event-loop thread, for synchronous callers::
+
+            with resin.serve(app) as handle:
+                conn = http.client.HTTPConnection("127.0.0.1", handle.port)
+
+        Returns a started :class:`~repro.server.http.ServerHandle`; leaving
+        the ``with`` block (or calling ``handle.close()``) drains the
+        server gracefully."""
+        from .server.http.server import ServerHandle
+        return ServerHandle(self.serve_async(app, host=host, port=port,
+                                             **options)).start()
+
     def __repr__(self) -> str:
         return f"Resin(registry={self.registry!r})"

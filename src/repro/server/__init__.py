@@ -10,10 +10,14 @@ Two front ends over the same per-request machinery:
 
 Both bind each request to its own
 :class:`~repro.core.request_context.RequestContext` over the shared
-environment.
+environment.  The :mod:`~repro.server.http` package puts a real HTTP/1.1
+socket listener (:class:`~repro.server.http.HTTPServer`) in front of the
+async dispatcher: keep-alive, pipelining, streaming chunked responses, and
+connection-level backpressure tied to the dispatcher's in-flight semaphore.
 """
 
 from .async_dispatcher import AsyncDispatcher
 from .dispatcher import Dispatcher
+from .http import HTTPServer, ServerHandle
 
-__all__ = ["AsyncDispatcher", "Dispatcher"]
+__all__ = ["AsyncDispatcher", "Dispatcher", "HTTPServer", "ServerHandle"]

@@ -1,0 +1,422 @@
+"""Incremental HTTP/1.1 request parsing.
+
+The parser is the first thing internet traffic meets, so it is written the
+way "Ten Years of ZMap" says a listener must be: every limit is enforced
+*while* bytes arrive (a request line that never ends is rejected at
+``max_request_line`` bytes, not buffered until memory runs out), every
+malformed framing decision maps to a concrete status code, and no input —
+truncated, oversized, or hostile — can drive the state machine anywhere but
+to a clean :class:`ParseError`.
+
+Feed bytes with :meth:`RequestParser.feed`, pull complete requests with
+:meth:`RequestParser.next_request` — ``None`` means "need more bytes".
+Several pipelined requests in one ``feed`` are fine; each ``next_request``
+call consumes exactly one.  Limit violations raise :class:`ParseError`
+carrying the response status the connection should send before closing:
+
+* ``400`` — malformed request line, header or chunk framing (also ``414``
+  for an over-long request line, which is a *limit* on the line);
+* ``413`` — declared or decoded body larger than ``max_body_bytes``;
+* ``431`` — header section larger than ``max_header_bytes`` or more than
+  ``max_header_count`` fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, unquote
+
+__all__ = ["ParseError", "ParserLimits", "ParsedRequest", "RequestParser"]
+
+_TOKEN = frozenset(
+    "!#$%&'*+-.^_`|~" "0123456789" "abcdefghijklmnopqrstuvwxyz" "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+)
+
+#: Methods the server understands.  Anything else is a 501 at the
+#: connection layer — but still has to *parse* as a token first.
+KNOWN_METHODS = frozenset(
+    {"GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "PATCH", "TRACE"}
+)
+
+
+class ParseError(Exception):
+    """A protocol violation, carrying the status the peer should see."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = int(status)
+
+
+@dataclass(frozen=True)
+class ParserLimits:
+    """Hard ceilings applied while bytes arrive (never after the fact)."""
+
+    max_request_line: int = 8192
+    max_header_bytes: int = 32768
+    max_header_count: int = 100
+    max_body_bytes: int = 1_048_576
+    max_chunk_line: int = 256
+
+
+@dataclass
+class ParsedRequest:
+    """One complete request off the wire, still transport-flavoured."""
+
+    method: str
+    target: str
+    version: str
+    headers: List[Tuple[str, str]] = field(default_factory=list)
+    body: bytes = b""
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """First value of ``name`` (case-insensitive), or ``default``."""
+        wanted = name.lower()
+        for key, value in self.headers:
+            if key.lower() == wanted:
+                return value
+        return default
+
+    def header_values(self, name: str) -> List[str]:
+        """Every value of ``name``, in arrival order."""
+        wanted = name.lower()
+        return [value for key, value in self.headers if key.lower() == wanted]
+
+    @property
+    def path(self) -> str:
+        """The request target's path component, percent-decoded."""
+        raw = self.target.split("?", 1)[0]
+        return unquote(raw)
+
+    @property
+    def query(self) -> Dict[str, str]:
+        """Query-string parameters (last value wins per name)."""
+        if "?" not in self.target:
+            return {}
+        return dict(parse_qsl(self.target.split("?", 1)[1], keep_blank_values=True))
+
+    @property
+    def cookies(self) -> Dict[str, str]:
+        """The ``Cookie`` header as a name → value mapping."""
+        jar: Dict[str, str] = {}
+        header = self.header("cookie")
+        if not header:
+            return jar
+        for pair in header.split(";"):
+            name, _, value = pair.strip().partition("=")
+            if name:
+                jar[name] = value
+        return jar
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the client expects the connection to survive this
+        exchange (HTTP/1.1 defaults to yes, HTTP/1.0 to no)."""
+        connection = (self.header("connection") or "").lower()
+        tokens = {token.strip() for token in connection.split(",")}
+        if self.version == "HTTP/1.0":
+            return "keep-alive" in tokens
+        return "close" not in tokens
+
+    def __repr__(self) -> str:
+        return (
+            f"ParsedRequest({self.method} {self.target!r} {self.version}, "
+            f"headers={len(self.headers)}, body={len(self.body)}B)"
+        )
+
+
+# Parser states.
+_LINE = "request-line"
+_HEADERS = "headers"
+_BODY_FIXED = "body-fixed"
+_CHUNK_SIZE = "chunk-size"
+_CHUNK_DATA = "chunk-data"
+_CHUNK_CRLF = "chunk-crlf"
+_TRAILERS = "trailers"
+
+
+class RequestParser:
+    """The incremental state machine: bytes in, requests out.
+
+    One parser per connection.  After a :class:`ParseError` the parser is
+    poisoned — the connection must send the error and close, because resync
+    inside a corrupt stream is how request-smuggling bugs are born.
+    """
+
+    def __init__(self, limits: Optional[ParserLimits] = None):
+        self.limits = limits or ParserLimits()
+        self._buffer = bytearray()
+        self._state = _LINE
+        self._request: Optional[ParsedRequest] = None
+        self._header_bytes = 0
+        self._body = bytearray()
+        self._body_remaining = 0
+        self._trailer_count = 0
+        self._failed: Optional[ParseError] = None
+
+    # -- input -----------------------------------------------------------------
+
+    def feed(self, data: bytes) -> None:
+        """Append raw bytes from the socket."""
+        if self._failed is not None:
+            raise self._failed
+        self._buffer.extend(data)
+
+    @property
+    def idle(self) -> bool:
+        """True between requests: nothing buffered, nothing half-parsed.
+
+        The connection uses this to pick the applicable timeout — an idle
+        keep-alive wait may close quietly, a stalled half-request is a 408.
+        """
+        return self._state is _LINE and not self._buffer
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    # -- output ----------------------------------------------------------------
+
+    def next_request(self) -> Optional[ParsedRequest]:
+        """The next complete request, or ``None`` while bytes are missing."""
+        if self._failed is not None:
+            raise self._failed
+        try:
+            return self._advance()
+        except ParseError as exc:
+            self._failed = exc
+            raise
+
+    _STEPS = {}  # filled in after the class body; state -> unbound method
+
+    def _advance(self) -> Optional[ParsedRequest]:
+        while True:
+            step = self._STEPS[self._state]
+            if not step(self):
+                return None
+            if self._state == "done":
+                return self._emit()
+
+    def _emit(self) -> ParsedRequest:
+        request = self._request
+        request.body = bytes(self._body)
+        self._request = None
+        self._body = bytearray()
+        self._header_bytes = 0
+        self._state = _LINE
+        return request
+
+    # -- request line ----------------------------------------------------------
+
+    def _take_line(self, limit: int, status: int, what: str) -> Optional[bytes]:
+        """One CRLF- (or bare-LF-) terminated line, enforcing ``limit`` on
+        the *unterminated* prefix as it accumulates."""
+        index = self._buffer.find(b"\n")
+        if index == -1:
+            if len(self._buffer) > limit:
+                raise ParseError(status, f"{what} exceeds {limit} bytes")
+            return None
+        if index > limit:
+            raise ParseError(status, f"{what} exceeds {limit} bytes")
+        line = bytes(self._buffer[:index])
+        del self._buffer[: index + 1]
+        return line.rstrip(b"\r")
+
+    def _parse_request_line(self) -> bool:
+        # Be tolerant of stray leading CRLFs between pipelined requests
+        # (RFC 9112 §2.2) but never of other garbage.
+        while self._buffer[:2] == b"\r\n" or self._buffer[:1] == b"\n":
+            del self._buffer[: 2 if self._buffer[:2] == b"\r\n" else 1]
+        line = self._take_line(self.limits.max_request_line, 414, "request line")
+        if line is None:
+            return False
+        if not line:
+            raise ParseError(400, "empty request line")
+        try:
+            text = line.decode("ascii")
+        except UnicodeDecodeError:
+            raise ParseError(400, "request line is not ASCII") from None
+        parts = text.split(" ")
+        if len(parts) != 3:
+            raise ParseError(400, f"malformed request line: {text!r}")
+        method, target, version = parts
+        if not method or not all(ch in _TOKEN for ch in method):
+            raise ParseError(400, f"malformed method: {method!r}")
+        if not target:
+            raise ParseError(400, "empty request target")
+        if version not in ("HTTP/1.1", "HTTP/1.0"):
+            raise ParseError(400, f"unsupported protocol version: {version!r}")
+        self._request = ParsedRequest(
+            method=method.upper(), target=target, version=version
+        )
+        self._state = _HEADERS
+        return True
+
+    # -- headers ---------------------------------------------------------------
+
+    def _parse_header_line(self) -> bool:
+        budget = self.limits.max_header_bytes - self._header_bytes
+        if budget < 0:
+            raise ParseError(431, "header section too large")
+        line = self._take_line(budget, 431, "header section")
+        if line is None:
+            return False
+        self._header_bytes += len(line) + 2
+        if not line:
+            self._finish_headers()
+            return True
+        if len(self._request.headers) >= self.limits.max_header_count:
+            raise ParseError(
+                431, f"more than {self.limits.max_header_count} header fields"
+            )
+        if line[:1] in (b" ", b"\t"):
+            # Obsolete line folding is a smuggling vector; refuse it.
+            raise ParseError(400, "obsolete header line folding")
+        name, separator, value = line.partition(b":")
+        if not separator:
+            raise ParseError(400, f"header line without ':': {line[:60]!r}")
+        try:
+            name_text = name.decode("ascii")
+            value_text = value.strip(b" \t").decode("latin-1")
+        except UnicodeDecodeError:
+            raise ParseError(400, "header name is not ASCII") from None
+        if not name_text or not all(ch in _TOKEN for ch in name_text):
+            # A space before the colon ("Host : x") is the classic
+            # request-smuggling disagreement; reject outright.
+            raise ParseError(400, f"malformed header name: {name_text!r}")
+        self._request.headers.append((name_text, value_text))
+        return True
+
+    def _finish_headers(self) -> None:
+        request = self._request
+        encodings = [
+            token.strip().lower()
+            for value in request.header_values("transfer-encoding")
+            for token in value.split(",")
+            if token.strip()
+        ]
+        lengths = request.header_values("content-length")
+        if encodings and lengths:
+            # Both framings present is the textbook smuggling ambiguity.
+            raise ParseError(400, "both Transfer-Encoding and Content-Length")
+        if encodings:
+            if encodings != ["chunked"]:
+                raise ParseError(400, f"unsupported transfer encoding {encodings!r}")
+            self._state = _CHUNK_SIZE
+            return
+        if lengths:
+            if len(set(lengths)) > 1:
+                raise ParseError(400, "conflicting Content-Length headers")
+            try:
+                declared = int(lengths[0])
+            except ValueError:
+                raise ParseError(400, f"malformed Content-Length: {lengths[0]!r}") from None
+            if declared < 0:
+                raise ParseError(400, "negative Content-Length")
+            if declared > self.limits.max_body_bytes:
+                raise ParseError(
+                    413, f"declared body of {declared} bytes exceeds "
+                    f"{self.limits.max_body_bytes}"
+                )
+            if declared == 0:
+                self._state = "done"
+                return
+            self._body_remaining = declared
+            self._state = _BODY_FIXED
+            return
+        self._state = "done"
+
+    # -- fixed-length body -------------------------------------------------------
+
+    def _consume_fixed_body(self) -> bool:
+        if not self._buffer:
+            return False
+        take = min(self._body_remaining, len(self._buffer))
+        self._body.extend(self._buffer[:take])
+        del self._buffer[:take]
+        self._body_remaining -= take
+        if self._body_remaining == 0:
+            self._state = "done"
+            return True
+        return False
+
+    # -- chunked body ------------------------------------------------------------
+
+    def _parse_chunk_size(self) -> bool:
+        line = self._take_line(self.limits.max_chunk_line, 400, "chunk-size line")
+        if line is None:
+            return False
+        size_text = line.split(b";", 1)[0].strip()
+        if not size_text:
+            raise ParseError(400, "empty chunk-size line")
+        try:
+            size = int(size_text, 16)
+        except ValueError:
+            raise ParseError(400, f"malformed chunk size: {size_text!r}") from None
+        if size < 0:
+            raise ParseError(400, "negative chunk size")
+        if len(self._body) + size > self.limits.max_body_bytes:
+            raise ParseError(
+                413, f"chunked body exceeds {self.limits.max_body_bytes} bytes"
+            )
+        if size == 0:
+            self._state = _TRAILERS
+            return True
+        self._body_remaining = size
+        self._state = _CHUNK_DATA
+        return True
+
+    def _consume_chunk_data(self) -> bool:
+        if not self._buffer:
+            return False
+        take = min(self._body_remaining, len(self._buffer))
+        self._body.extend(self._buffer[:take])
+        del self._buffer[:take]
+        self._body_remaining -= take
+        if self._body_remaining == 0:
+            self._state = _CHUNK_CRLF
+            return True
+        return False
+
+    def _consume_chunk_crlf(self) -> bool:
+        if len(self._buffer) < 2:
+            if self._buffer and self._buffer[:1] not in (b"\r",):
+                raise ParseError(400, "chunk data not followed by CRLF")
+            return False
+        if self._buffer[:2] != b"\r\n":
+            raise ParseError(400, "chunk data not followed by CRLF")
+        del self._buffer[:2]
+        self._state = _CHUNK_SIZE
+        return True
+
+    def _parse_trailer_line(self) -> bool:
+        line = self._take_line(self.limits.max_chunk_line, 431, "trailer line")
+        if line is None:
+            return False
+        if line:
+            # Trailer fields are parsed for framing but deliberately dropped:
+            # nothing downstream may key a decision on a post-body header.
+            self._trailer_count += 1
+            if self._trailer_count > self.limits.max_header_count:
+                raise ParseError(431, "too many trailer fields")
+            return True
+        self._trailer_count = 0
+        self._state = "done"
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"RequestParser(state={self._state!r}, buffered={len(self._buffer)}B, "
+            f"failed={self._failed is not None})"
+        )
+
+
+RequestParser._STEPS = {
+    _LINE: RequestParser._parse_request_line,
+    _HEADERS: RequestParser._parse_header_line,
+    _BODY_FIXED: RequestParser._consume_fixed_body,
+    _CHUNK_SIZE: RequestParser._parse_chunk_size,
+    _CHUNK_DATA: RequestParser._consume_chunk_data,
+    _CHUNK_CRLF: RequestParser._consume_chunk_crlf,
+    _TRAILERS: RequestParser._parse_trailer_line,
+}

@@ -7,9 +7,11 @@ from .routing import (
     CatchViolationsMiddleware,
     MethodNotAllowed,
     Middleware,
+    RequestLogMiddleware,
     Route,
     RouteMatch,
     Router,
+    ScopedMiddleware,
     SessionMiddleware,
     UntrustedInputMiddleware,
 )
@@ -25,6 +27,8 @@ __all__ = [
     "RouteMatch",
     "MethodNotAllowed",
     "Middleware",
+    "ScopedMiddleware",
+    "RequestLogMiddleware",
     "SessionMiddleware",
     "UntrustedInputMiddleware",
     "CatchViolationsMiddleware",

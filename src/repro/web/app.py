@@ -47,6 +47,7 @@ from .routing import (
     Middleware,
     RouteMatch,
     Router,
+    ScopedMiddleware,
 )
 
 Handler = Callable[..., Any]
@@ -165,7 +166,11 @@ class WebApplication:
         return self.router.route(pattern, methods=methods, name=name)
 
     def middleware(
-        self, middleware: Optional[Any] = None, *, phase: str = "request"
+        self,
+        middleware: Optional[Any] = None,
+        *,
+        phase: str = "request",
+        prefix: Optional[str] = None,
     ) -> Any:
         """Add a pipeline stage.
 
@@ -173,16 +178,20 @@ class WebApplication:
         callable (wrapped as a one-phase
         :class:`~repro.web.routing.FunctionMiddleware`), or no argument —
         decorator form: ``@app.middleware`` / ``@app.middleware(
-        phase="response")``.
+        phase="response")``.  With ``prefix`` the stage is scoped to that
+        URL subtree (a :class:`~repro.web.routing.ScopedMiddleware`): it
+        runs only for requests whose path lives under the prefix.
         """
         if middleware is None:
 
             def decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
-                self.middleware(fn, phase=phase)
+                self.middleware(fn, phase=phase, prefix=prefix)
                 return fn
 
             return decorator
-        if isinstance(middleware, Middleware):
+        if prefix is not None:
+            stage: Middleware = ScopedMiddleware(prefix, middleware, phase=phase)
+        elif isinstance(middleware, Middleware):
             stage = middleware
         elif callable(middleware):
             stage = FunctionMiddleware(middleware, phase=phase)
@@ -333,7 +342,7 @@ class WebApplication:
                         # end (thread dispatcher, direct handle()): run it to
                         # completion on a private loop.
                         result = asyncio.run(result)
-            self._apply_result(response, result)
+            self._apply_result(response, result, request)
         except Exception as exc:  # noqa: BLE001 - mapped or re-raised below
             if not self._handle_exception(request, response, ran, exc):
                 raise
@@ -356,7 +365,7 @@ class WebApplication:
                     result = match.handler(request, response, **match.params)
                     if asyncio.iscoroutine(result):
                         result = await result
-            self._apply_result(response, result)
+            await self._apply_result_async(response, result, request)
         except Exception as exc:  # noqa: BLE001 - mapped or re-raised below
             if not self._handle_exception(request, response, ran, exc):
                 raise
@@ -417,7 +426,12 @@ class WebApplication:
             rctx.route_params = dict(match.params)
         return match
 
-    def _apply_result(self, response: HTTPOutputChannel, result: Any) -> None:
+    def _apply_result(
+        self,
+        response: HTTPOutputChannel,
+        result: Any,
+        request: Optional[Request] = None,
+    ) -> None:
         """Emit a handler/middleware result through the channel.
 
         ``Response`` objects are applied; strings and bytes are written
@@ -425,11 +439,49 @@ class WebApplication:
         means "the handler wrote to the channel itself" and is ignored —
         which is also what keeps legacy handlers that ``return
         response.write(...)`` (an int) working.
+
+        A ``Response`` carrying stream chunks is *deferred* when the request
+        came through a streaming consumer (the socket server sets
+        ``request.stream_consumer``): status and headers are applied now,
+        the body sources are parked on ``response.pending_stream``, and the
+        consumer drains them — each piece still crosses ``channel.write``,
+        just interleaved with the wire.
         """
         if isinstance(result, Response):
+            if self._defer_stream(response, result, request):
+                return
             result.apply(response)
         elif isinstance(result, (str, bytes)):
             response.write(result)
+
+    async def _apply_result_async(
+        self,
+        response: HTTPOutputChannel,
+        result: Any,
+        request: Optional[Request] = None,
+    ) -> None:
+        """:meth:`_apply_result` on the event loop: async stream chunks are
+        awaited in place instead of being bounced to a private loop."""
+        if isinstance(result, Response):
+            if self._defer_stream(response, result, request):
+                return
+            await result.apply_async(response)
+        elif isinstance(result, (str, bytes)):
+            response.write(result)
+
+    @staticmethod
+    def _defer_stream(
+        response: HTTPOutputChannel, result: Response, request: Optional[Request]
+    ) -> bool:
+        if (
+            request is not None
+            and getattr(request, "stream_consumer", False)
+            and result.has_stream()
+        ):
+            result.apply_headers(response)
+            response.pending_stream = result
+            return True
+        return False
 
     def _handle_exception(
         self,

@@ -48,6 +48,15 @@ class Request:
         # WebApplication.is_native_async and consumed by the dispatch that
         # follows, so the route table is scanned once per request.
         self._route_match = None
+        #: True when the front end serving this request can drain a
+        #: streaming response body itself (the HTTP socket server).  The
+        #: application then defers stream chunks instead of applying them
+        #: eagerly — see ``HTTPOutputChannel.pending_stream``.
+        self.stream_consumer = False
+        #: The raw request body, when the request arrived over a transport
+        #: that carries one (the socket server sets this; form-encoded
+        #: bodies are additionally decoded into ``params``).
+        self.body: Optional[bytes] = None
 
     def param(self, name: str, default: Any = None) -> Any:
         return self.params.get(name, default)

@@ -13,11 +13,29 @@ through ``channel.add_header``.  Building a ``Response`` never checks
 anything; a handler can assemble a page of data it is not allowed to
 disclose and the assertion still fires — at apply time, inside the
 application's violation handling.
+
+A body chunk may also be a *stream*: a generator (or any iterable) or an
+``async`` generator.  Streams are consumed lazily and **each produced piece
+crosses the filter chain on its own** — a ten-thousand-row export is ten
+thousand boundary checks, and the first disallowed row stops the stream
+mid-flight.  Over the socket server a streamed body leaves the process as
+chunked transfer-encoding, piece by piece; in-process front ends drain it
+at apply time.  Headers are an ordered multi-map: repeated names
+(``Set-Cookie``, ``Allow``) stay repeated all the way to the wire.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Tuple
+import asyncio
+from typing import Any, AsyncIterator, Iterable, List, Optional, Tuple
+
+
+def is_stream(chunk: Any) -> bool:
+    """True when ``chunk`` is a lazily-consumed body source (a generator,
+    any non-string iterable, or an async iterable) rather than data."""
+    if isinstance(chunk, (str, bytes)):
+        return False
+    return hasattr(chunk, "__aiter__") or hasattr(chunk, "__iter__")
 
 
 class Response:
@@ -25,7 +43,7 @@ class Response:
 
     Fluent: ``Response("hello").set_status(201).header("X-Kind", "demo")``.
     A plain string returned from a handler is shorthand for
-    ``Response(body)``.
+    ``Response(body)``; a generator (or ``async`` generator) body streams.
     """
 
     def __init__(
@@ -48,11 +66,25 @@ class Response:
         self.chunks.append(data)
         return self
 
+    def stream(self, source: Any) -> "Response":
+        """Append a lazily-consumed body source — a generator, iterable, or
+        ``async`` generator.  Every piece it yields crosses the channel's
+        filter chain individually when the body is drained."""
+        if not is_stream(source):
+            raise TypeError(
+                f"stream() wants an iterable or async iterable, got {source!r}; "
+                "use write() for plain data"
+            )
+        self.chunks.append(source)
+        return self
+
     def set_status(self, status: int) -> "Response":
         self.status = int(status)
         return self
 
     def header(self, name: str, value: Any) -> "Response":
+        """Add one header line.  Repeating a name keeps *both* lines —
+        headers are a multi-map, and the wire format emits repeated lines."""
         self.headers.append((name, value))
         return self
 
@@ -64,17 +96,58 @@ class Response:
 
     # -- crossing the boundary ----------------------------------------------------
 
-    def apply(self, channel) -> None:
-        """Emit this response through ``channel`` — the point where status,
-        headers and every body chunk actually cross the HTTP boundary."""
+    def has_stream(self) -> bool:
+        """Whether any body chunk is lazy (a stream)."""
+        return any(is_stream(chunk) for chunk in self.chunks)
+
+    def apply_headers(self, channel) -> None:
+        """Emit status and headers through ``channel`` (each header value
+        traverses the filter chain; repeated names stay repeated)."""
         channel.set_status(self.status)
         for name, value in self.headers:
             channel.add_header(name, value)
+
+    def apply(self, channel) -> None:
+        """Emit this response through ``channel`` — the point where status,
+        headers and every body chunk actually cross the HTTP boundary.
+
+        Stream chunks are drained here: sync streams piece by piece, async
+        streams on a private event loop (so this method must not be called
+        while an event loop is running on this thread — front ends on a
+        loop use :meth:`apply_async`, the socket server defers the body and
+        drains it at the connection).
+        """
+        self.apply_headers(channel)
         for chunk in self.chunks:
-            channel.write(chunk)
+            if not is_stream(chunk):
+                channel.write(chunk)
+            elif hasattr(chunk, "__aiter__"):
+                asyncio.run(self._drain_async_source(channel, chunk))
+            else:
+                for piece in chunk:
+                    channel.write(piece)
+
+    async def apply_async(self, channel) -> None:
+        """:meth:`apply`, with async streams awaited on the running loop."""
+        self.apply_headers(channel)
+        for chunk in self.chunks:
+            if not is_stream(chunk):
+                channel.write(chunk)
+            elif hasattr(chunk, "__aiter__"):
+                async for piece in chunk:
+                    channel.write(piece)
+            else:
+                for piece in chunk:
+                    channel.write(piece)
+
+    @staticmethod
+    async def _drain_async_source(channel, source: AsyncIterator) -> None:
+        async for piece in source:
+            channel.write(piece)
 
     def __repr__(self) -> str:
+        streams = sum(1 for chunk in self.chunks if is_stream(chunk))
         return (
             f"Response(status={self.status}, headers={len(self.headers)}, "
-            f"chunks={len(self.chunks)})"
+            f"chunks={len(self.chunks)}, streams={streams})"
         )

@@ -38,9 +38,11 @@ __all__ = [
     "CatchViolationsMiddleware",
     "MethodNotAllowed",
     "Middleware",
+    "RequestLogMiddleware",
     "Route",
     "RouteMatch",
     "Router",
+    "ScopedMiddleware",
     "SessionMiddleware",
     "UntrustedInputMiddleware",
 ]
@@ -361,6 +363,78 @@ class FunctionMiddleware(Middleware):
     def __repr__(self) -> str:
         name = getattr(self.fn, "__name__", repr(self.fn))
         return f"FunctionMiddleware({name}, phase={self.phase!r})"
+
+
+class ScopedMiddleware(Middleware):
+    """A pipeline stage bound to a URL subtree.
+
+    Wraps another middleware (or a plain hook, via
+    :class:`FunctionMiddleware`) so its three phases run only for requests
+    whose path lies under ``prefix`` — ``prefix="/admin"`` covers
+    ``/admin`` and ``/admin/...`` but not ``/administrator``.  This is how
+    server-level concerns (request logging, input marking, violation
+    mapping, limits) compose with the pipeline per application area instead
+    of globally; ``app.middleware(hook, prefix="/admin")`` builds one.
+    """
+
+    def __init__(self, prefix: str, middleware: Any, *, phase: str = "request"):
+        if isinstance(middleware, Middleware):
+            self.wrapped = middleware
+        elif callable(middleware):
+            self.wrapped = FunctionMiddleware(middleware, phase=phase)
+        else:
+            raise TypeError(
+                f"ScopedMiddleware wants a Middleware or callable, got "
+                f"{middleware!r}"
+            )
+        self.prefix = "/" + str(prefix).strip("/")
+        if self.prefix == "/":
+            raise ValueError(
+                "ScopedMiddleware prefix must name a proper subtree; an "
+                "unscoped middleware already covers the whole URL space"
+            )
+
+    def bind(self, app) -> None:
+        super().bind(app)
+        self.wrapped.bind(app)
+
+    def covers(self, path: str) -> bool:
+        path = str(path)
+        return path == self.prefix or path.startswith(self.prefix + "/")
+
+    def process_request(self, request, response):
+        if not self.covers(request.path):
+            return None
+        return self.wrapped.process_request(request, response)
+
+    def process_response(self, request, response):
+        if not self.covers(request.path):
+            return None
+        return self.wrapped.process_response(request, response)
+
+    def process_exception(self, request, response, exc):
+        if not self.covers(request.path):
+            return None
+        return self.wrapped.process_exception(request, response, exc)
+
+    def __repr__(self) -> str:
+        return f"ScopedMiddleware({self.prefix!r}, {self.wrapped!r})"
+
+
+class RequestLogMiddleware(Middleware):
+    """Records one ``(method, path, user, status)`` entry per request — the
+    canonical server-level concern to scope to a subtree.  Entries land in
+    the list passed in (or an internal one, exposed as ``entries``); the
+    response phase runs after the handler, so ``status`` is final."""
+
+    def __init__(self, entries: Optional[List[tuple]] = None):
+        self.entries: List[tuple] = entries if entries is not None else []
+
+    def process_response(self, request, response):
+        self.entries.append(
+            (request.method, request.path, request.user, response.status)
+        )
+        return None
 
 
 class SessionMiddleware(Middleware):

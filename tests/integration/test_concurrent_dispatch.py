@@ -155,6 +155,16 @@ class TestTable4Concurrent:
         concurrent = table4.run_all_concurrent(use_resin, workers=16)
         assert table4.verdicts(concurrent) == table4.verdicts(serial)
 
+    @pytest.mark.parametrize("use_resin", [False, True])
+    def test_socket_front_end_matches_serial_verdicts(self, use_resin):
+        """The full Table 4 suite served over real loopback sockets — an
+        HTTPServer on a background thread, 8 concurrent http.client
+        POSTs — reaches verdicts identical to the in-process runs."""
+        serial = table4.run_all(use_resin)
+        over_socket = table4.run_all_concurrent(use_resin, workers=8,
+                                                front_end="socket")
+        assert table4.verdicts(over_socket) == table4.verdicts(serial)
+
 
 class TestThroughputScaling:
     def test_io_bound_handlers_overlap_across_workers(self):

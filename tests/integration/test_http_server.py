@@ -1,0 +1,416 @@
+"""The HTTP/1.1 socket server, exercised over real loopback connections.
+
+Everything here talks to a live ``HTTPServer`` on a background thread
+(``ServerHandle``) through ``http.client`` or raw sockets: keep-alive and
+pipelining, chunked streaming with a taint check per frame, multi-value
+headers on the wire, slowloris/408 and idle-timeout behaviour, premature
+disconnects, backpressure, graceful drain, and the ``Resin.serve`` entry
+point.
+"""
+
+import http.client
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.api import policy_add
+from repro.environment import Environment
+from repro.policies import PasswordPolicy
+from repro.runtime_api import Resin
+from repro.server.http import HTTPServer, ServerHandle
+from repro.web.app import WebApplication
+from repro.web.response import Response
+
+
+def build_app(env=None):
+    app = WebApplication(env or Environment(), "socket-app")
+
+    @app.route("/hello")
+    def hello(request, response):
+        return Response("hello over the wire")
+
+    @app.route("/whoami")
+    def whoami(request, response):
+        return Response(f"user={request.user}")
+
+    @app.route("/echo", methods=["POST"])
+    def echo(request, response):
+        return Response(f"name={request.params.get('name')}")
+
+    @app.route("/cookies")
+    def cookies(request, response):
+        return (Response(f"sid={request.cookies.get('sid')}")
+                .header("Set-Cookie", "a=1; Path=/")
+                .header("Set-Cookie", "b=2; Path=/"))
+
+    @app.route("/stream")
+    def stream(request, response):
+        def chunks():
+            for index in range(4):
+                yield f"piece-{index};"
+        return Response().stream(chunks())
+
+    @app.route("/astream")
+    def astream(request, response):
+        async def chunks():
+            for index in range(3):
+                yield f"async-{index};"
+        return Response().stream(chunks())
+
+    @app.route("/leak")
+    def leak(request, response):
+        secret = policy_add("s3cret", PasswordPolicy("owner@example.org"))
+
+        def chunks():
+            yield "public-prefix;"
+            yield secret  # the assertion fires at the channel, mid-stream
+            yield "never-reached;"
+        return Response().stream(chunks())
+
+    @app.route("/boom")
+    def boom(request, response):
+        raise RuntimeError("handler bug")
+
+    return app
+
+
+def serve(app, **options):
+    options.setdefault("idle_timeout", 5.0)
+    return ServerHandle(HTTPServer(app, **options)).start()
+
+
+def raw_exchange(port, payload, timeout=5.0):
+    """Send ``payload`` on a fresh socket and read until the server closes."""
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as sock:
+        sock.sendall(payload)
+        sock.shutdown(socket.SHUT_WR)
+        received = b""
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                return received
+            received += data
+
+
+class TestBasicServing:
+    def test_get_and_keep_alive_reuse(self):
+        with serve(build_app()) as handle:
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                              timeout=5)
+            try:
+                for _ in range(3):  # same connection, three exchanges
+                    conn.request("GET", "/hello")
+                    reply = conn.getresponse()
+                    assert reply.status == 200
+                    assert reply.read() == b"hello over the wire"
+            finally:
+                conn.close()
+
+    def test_post_form_body_reaches_params(self):
+        with serve(build_app()) as handle:
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                              timeout=5)
+            try:
+                conn.request(
+                    "POST", "/echo", body="name=resin",
+                    headers={"Content-Type":
+                             "application/x-www-form-urlencoded"})
+                reply = conn.getresponse()
+                assert reply.read() == b"name=resin"
+            finally:
+                conn.close()
+
+    def test_user_header_sets_the_principal(self):
+        with serve(build_app(), user_header="x-resin-user") as handle:
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                              timeout=5)
+            try:
+                conn.request("GET", "/whoami",
+                             headers={"X-Resin-User": "alice"})
+                assert conn.getresponse().read() == b"user=alice"
+            finally:
+                conn.close()
+
+    def test_404_405_and_501(self):
+        with serve(build_app()) as handle:
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                              timeout=5)
+            try:
+                conn.request("GET", "/missing")
+                reply = conn.getresponse()
+                assert reply.status == 404
+                reply.read()
+                conn.request("GET", "/echo")  # POST-only route
+                reply = conn.getresponse()
+                assert reply.status == 405
+                assert "POST" in (reply.getheader("Allow") or "")
+                reply.read()
+            finally:
+                conn.close()
+            raw = raw_exchange(handle.port,
+                               b"BREW /coffee HTTP/1.1\r\nHost: h\r\n\r\n")
+            assert raw.startswith(b"HTTP/1.1 501 ")
+
+    def test_handler_exception_is_500_and_closes(self):
+        with serve(build_app()) as handle:
+            raw = raw_exchange(handle.port,
+                               b"GET /boom HTTP/1.1\r\nHost: h\r\n\r\n")
+            assert raw.startswith(b"HTTP/1.1 500 ")
+            assert b"Connection: close" in raw
+
+    def test_head_sends_headers_but_no_body(self):
+        with serve(build_app()) as handle:
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                              timeout=5)
+            try:
+                conn.request("HEAD", "/hello")
+                reply = conn.getresponse()
+                assert reply.status == 200
+                assert reply.read() == b""
+            finally:
+                conn.close()
+
+
+class TestWireFormat:
+    def test_pipelined_requests_answered_in_order(self):
+        with serve(build_app()) as handle:
+            raw = raw_exchange(
+                handle.port,
+                b"GET /hello HTTP/1.1\r\nHost: h\r\n\r\n"
+                b"GET /whoami HTTP/1.1\r\nHost: h\r\n"
+                b"Connection: close\r\n\r\n")
+            first, _, second = raw.partition(b"user=None")
+            assert first.count(b"HTTP/1.1 200") == 2
+            assert b"hello over the wire" in first
+
+    def test_multi_value_headers_are_repeated_lines(self):
+        with serve(build_app()) as handle:
+            raw = raw_exchange(
+                handle.port,
+                b"GET /cookies HTTP/1.1\r\nHost: h\r\n"
+                b"Cookie: sid=xyz\r\nConnection: close\r\n\r\n")
+            head = raw.split(b"\r\n\r\n", 1)[0]
+            cookie_lines = [line for line in head.split(b"\r\n")
+                            if line.lower().startswith(b"set-cookie:")]
+            assert cookie_lines == [b"Set-Cookie: a=1; Path=/",
+                                    b"Set-Cookie: b=2; Path=/"]
+            assert b"sid=xyz" in raw
+
+    def test_http_10_defaults_to_close(self):
+        with serve(build_app()) as handle:
+            raw = raw_exchange(handle.port,
+                               b"GET /hello HTTP/1.0\r\nHost: h\r\n\r\n")
+            assert b"Connection: close" in raw
+
+    @pytest.mark.parametrize("payload,status", [
+        (b"GET /page HTTP/9.9\r\n\r\n", b"400"),
+        (b"GET / HTTP/1.1\r\nHost : bad\r\n\r\n", b"400"),
+        (b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+         b"Content-Length: 4\r\n\r\n", b"400"),
+    ])
+    def test_parse_errors_get_their_status_and_close(self, payload, status):
+        with serve(build_app()) as handle:
+            raw = raw_exchange(handle.port, payload)
+            assert raw.startswith(b"HTTP/1.1 " + status)
+
+    def test_oversized_header_section_is_431(self):
+        from repro.server.http import ParserLimits
+        limits = ParserLimits(max_header_bytes=256)
+        with serve(build_app(), limits=limits) as handle:
+            raw = raw_exchange(
+                handle.port,
+                b"GET /hello HTTP/1.1\r\nX-Pad: " + b"a" * 1000 + b"\r\n\r\n")
+            assert raw.startswith(b"HTTP/1.1 431 ")
+
+
+class TestStreaming:
+    def test_sync_generator_streams_as_chunked(self):
+        with serve(build_app()) as handle:
+            raw = raw_exchange(
+                handle.port,
+                b"GET /stream HTTP/1.1\r\nHost: h\r\n"
+                b"Connection: close\r\n\r\n")
+            head, body = raw.split(b"\r\n\r\n", 1)
+            assert b"Transfer-Encoding: chunked" in head
+            # Four frames, one per yielded piece, then the terminator.
+            assert body.count(b"piece-") == 4
+            assert body.endswith(b"0\r\n\r\n")
+
+    def test_async_generator_streams_as_chunked(self):
+        with serve(build_app()) as handle:
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                              timeout=5)
+            try:
+                conn.request("GET", "/astream")
+                reply = conn.getresponse()
+                assert reply.getheader("Transfer-Encoding") == "chunked"
+                assert reply.read() == b"async-0;async-1;async-2;"
+            finally:
+                conn.close()
+
+    def test_policy_violation_mid_stream_truncates_the_body(self):
+        """The disallowed piece fires the assertion at ``channel.write``:
+        the secret never reaches the wire, the chunked body is left without
+        its terminating frame, and the connection closes."""
+        with serve(build_app()) as handle:
+            raw = raw_exchange(
+                handle.port,
+                b"GET /leak HTTP/1.1\r\nHost: h\r\n\r\n")
+            assert b"public-prefix;" in raw
+            assert b"s3cret" not in raw
+            assert b"never-reached" not in raw
+            assert not raw.endswith(b"0\r\n\r\n")  # truncated, not completed
+
+    def test_head_on_streaming_route_never_drains_the_stream(self):
+        with serve(build_app()) as handle:
+            raw = raw_exchange(
+                handle.port,
+                b"HEAD /leak HTTP/1.1\r\nHost: h\r\n"
+                b"Connection: close\r\n\r\n")
+            assert raw.startswith(b"HTTP/1.1 200 ")
+            assert b"s3cret" not in raw
+            assert raw.endswith(b"0\r\n\r\n")  # empty chunked body
+
+
+class TestTimeoutsAndDisconnects:
+    def test_slowloris_half_request_gets_408(self):
+        with serve(build_app(), read_timeout=0.4) as handle:
+            with socket.create_connection(("127.0.0.1", handle.port),
+                                          timeout=5) as sock:
+                sock.sendall(b"GET /hel")  # the request never completes
+                received = b""
+                while True:
+                    data = sock.recv(65536)
+                    if not data:
+                        break
+                    received += data
+                assert received.startswith(b"HTTP/1.1 408 ")
+
+    def test_idle_keep_alive_connection_closes_quietly(self):
+        with serve(build_app(), idle_timeout=0.3) as handle:
+            with socket.create_connection(("127.0.0.1", handle.port),
+                                          timeout=5) as sock:
+                assert sock.recv(65536) == b""  # EOF, no 408, no noise
+
+    def test_client_disconnect_mid_body_leaves_server_healthy(self):
+        with serve(build_app()) as handle:
+            with socket.create_connection(("127.0.0.1", handle.port),
+                                          timeout=5) as sock:
+                sock.sendall(b"POST /echo HTTP/1.1\r\nHost: h\r\n"
+                             b"Content-Length: 100\r\n\r\nonly-a-few")
+            # The next connection is served normally.
+            raw = raw_exchange(handle.port,
+                               b"GET /hello HTTP/1.1\r\nHost: h\r\n\r\n")
+            assert b"hello over the wire" in raw
+
+
+class TestBackpressureAndDrain:
+    def test_concurrent_connections_under_small_in_flight_bound(self):
+        """Sixteen clients against a 2-slot dispatcher: every request is
+        served (excess admission waits on the semaphore, reads pause)."""
+        env = Environment()
+        app = build_app(env)
+
+        @app.route("/slow")
+        def slow(request, response):
+            time.sleep(0.02)
+            return Response("slept")
+
+        outcomes = []
+        with serve(app, workers=2, max_in_flight=2) as handle:
+            def client():
+                conn = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                                  timeout=10)
+                try:
+                    for _ in range(2):
+                        conn.request("GET", "/slow")
+                        reply = conn.getresponse()
+                        outcomes.append((reply.status, reply.read()))
+                finally:
+                    conn.close()
+
+            threads = [threading.Thread(target=client) for _ in range(16)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert len(outcomes) == 32
+        assert all(status == 200 and body == b"slept"
+                   for status, body in outcomes)
+
+    def test_drain_closes_idle_keep_alive_connections(self):
+        handle = serve(build_app())
+        sock = socket.create_connection(("127.0.0.1", handle.port), timeout=5)
+        try:
+            sock.sendall(b"GET /hello HTTP/1.1\r\nHost: h\r\n\r\n")
+            first = sock.recv(65536)
+            assert first.startswith(b"HTTP/1.1 200 ")
+            handle.close()  # drain: the parked keep-alive socket is closed
+            sock.settimeout(5)
+            leftover = b"x"
+            try:
+                while leftover:
+                    leftover = sock.recv(65536)
+            except (ConnectionError, OSError):
+                pass  # an abort may surface as ECONNRESET — equally closed
+        finally:
+            sock.close()
+
+    def test_close_is_idempotent(self):
+        handle = serve(build_app())
+        handle.close()
+        handle.close()
+
+
+class TestEntryPoints:
+    def test_resin_serve_returns_a_live_handle(self):
+        env = Environment()
+        app = build_app(env)
+        with Resin(env).serve(app) as handle:
+            assert handle.url.startswith("http://127.0.0.1:")
+            raw = raw_exchange(handle.port,
+                               b"GET /hello HTTP/1.1\r\nHost: h\r\n\r\n")
+            assert b"hello over the wire" in raw
+
+    def test_scoped_middleware_over_http(self):
+        env = Environment()
+        app = build_app(env)
+        seen = []
+
+        @app.middleware(prefix="/admin")
+        def audit(request):
+            seen.append(request.path)
+            return None
+
+        @app.route("/admin/panel")
+        def panel(request, response):
+            return Response("panel")
+
+        with serve(app) as handle:
+            for target in (b"/hello", b"/admin/panel"):
+                raw_exchange(handle.port,
+                             b"GET " + target + b" HTTP/1.1\r\n"
+                             b"Host: h\r\n\r\n")
+        assert seen == ["/admin/panel"]
+
+    def test_serve_async_context_manager_on_a_loop(self):
+        import asyncio
+
+        env = Environment()
+        app = build_app(env)
+
+        async def scenario():
+            async with Resin(env).serve_async(app) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                writer.write(b"GET /hello HTTP/1.1\r\nHost: h\r\n"
+                             b"Connection: close\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                return raw
+
+        raw = asyncio.run(scenario())
+        assert b"hello over the wire" in raw

@@ -1,0 +1,259 @@
+"""Unit tests for the incremental HTTP/1.1 request parser.
+
+Hostile input is the norm here: truncated request lines, oversized headers,
+smuggling-shaped framing, bad chunk lines.  Every rejection must carry the
+right status code, and every limit must trip *while* bytes arrive — a
+request that never completes still gets cut off at its limit.
+"""
+
+import pytest
+
+from repro.server.http import ParseError, ParserLimits, RequestParser
+
+
+def parse_one(raw: bytes, limits=None):
+    parser = RequestParser(limits)
+    parser.feed(raw)
+    request = parser.next_request()
+    assert request is not None, "expected a complete request"
+    return request
+
+
+class TestRequestLine:
+    def test_simple_get(self):
+        request = parse_one(b"GET /page?x=1 HTTP/1.1\r\nHost: a\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/page"
+        assert request.query == {"x": "1"}
+        assert request.version == "HTTP/1.1"
+        assert request.body == b""
+
+    def test_percent_decoding_in_path(self):
+        request = parse_one(b"GET /a%20b/c HTTP/1.1\r\n\r\n")
+        assert request.path == "/a b/c"
+
+    def test_incremental_feed_one_byte_at_a_time(self):
+        parser = RequestParser()
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"
+        for index in range(len(raw)):
+            parser.feed(raw[index:index + 1])
+            request = parser.next_request()
+            if index < len(raw) - 1:
+                assert request is None
+        assert request.body == b"hi"
+
+    def test_truncated_request_line_yields_none_not_error(self):
+        parser = RequestParser()
+        parser.feed(b"GET /page HT")
+        assert parser.next_request() is None
+        assert not parser.idle  # half a request is buffered
+
+    def test_overlong_request_line_is_414_even_without_newline(self):
+        limits = ParserLimits(max_request_line=64)
+        parser = RequestParser(limits)
+        parser.feed(b"GET /" + b"a" * 100)  # no terminator in sight
+        with pytest.raises(ParseError) as excinfo:
+            parser.next_request()
+        assert excinfo.value.status == 414
+
+    @pytest.mark.parametrize("line", [
+        b"GET /page\r\n",             # two fields
+        b"GET  /page HTTP/1.1\r\n",   # double space -> four fields
+        b"G<T /page HTTP/1.1\r\n",    # bad method token
+        b"GET /page HTTP/2.0\r\n",    # unsupported version
+        b"GET /page HTTP/1.1extra\r\n",
+    ])
+    def test_malformed_request_lines_are_400(self, line):
+        parser = RequestParser()
+        parser.feed(line + b"x")  # ensure the line is terminated/abnormal
+        with pytest.raises(ParseError) as excinfo:
+            parser.next_request()
+        assert excinfo.value.status == 400
+
+    def test_stray_crlf_between_pipelined_requests_is_tolerated(self):
+        parser = RequestParser()
+        parser.feed(b"GET /a HTTP/1.1\r\n\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
+        assert parser.next_request().path == "/a"
+        assert parser.next_request().path == "/b"
+
+    def test_non_ascii_request_line_is_400(self):
+        parser = RequestParser()
+        parser.feed("GET /café HTTP/1.1\r\n\r\n".encode("utf-8"))
+        with pytest.raises(ParseError) as excinfo:
+            parser.next_request()
+        assert excinfo.value.status == 400
+
+
+class TestHeaders:
+    def test_multi_value_headers_preserved_in_order(self):
+        request = parse_one(
+            b"GET / HTTP/1.1\r\n"
+            b"Set-Thing: one\r\nHost: h\r\nSet-Thing: two\r\n\r\n"
+        )
+        assert request.header_values("set-thing") == ["one", "two"]
+        assert request.header("SET-THING") == "one"
+
+    def test_cookie_header_parses_to_jar(self):
+        request = parse_one(
+            b"GET / HTTP/1.1\r\nCookie: sid=abc; theme=dark\r\n\r\n")
+        assert request.cookies == {"sid": "abc", "theme": "dark"}
+
+    def test_oversized_header_section_is_431(self):
+        limits = ParserLimits(max_header_bytes=128)
+        parser = RequestParser(limits)
+        parser.feed(b"GET / HTTP/1.1\r\nX-Pad: " + b"a" * 500)
+        with pytest.raises(ParseError) as excinfo:
+            parser.next_request()
+        assert excinfo.value.status == 431
+
+    def test_too_many_header_fields_is_431(self):
+        limits = ParserLimits(max_header_count=5)
+        raw = b"GET / HTTP/1.1\r\n" + b"".join(
+            b"X-%d: v\r\n" % i for i in range(6)) + b"\r\n"
+        parser = RequestParser(limits)
+        parser.feed(raw)
+        with pytest.raises(ParseError) as excinfo:
+            parser.next_request()
+        assert excinfo.value.status == 431
+
+    @pytest.mark.parametrize("header", [
+        b"NoColonHere\r\n",
+        b"Bad Name: x\r\n",        # space inside the name
+        b"Host : x\r\n",           # space before the colon (smuggling classic)
+        b" folded: continuation\r\n",
+    ])
+    def test_malformed_header_lines_are_400(self, header):
+        parser = RequestParser()
+        parser.feed(b"GET / HTTP/1.1\r\nHost: ok\r\n" + header + b"\r\n")
+        with pytest.raises(ParseError) as excinfo:
+            parser.next_request()
+        assert excinfo.value.status == 400
+
+
+class TestBodyFraming:
+    def test_content_length_body(self):
+        request = parse_one(
+            b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+        assert request.body == b"hello"
+
+    def test_declared_body_over_limit_is_413_before_any_body_byte(self):
+        limits = ParserLimits(max_body_bytes=10)
+        parser = RequestParser(limits)
+        parser.feed(b"POST /x HTTP/1.1\r\nContent-Length: 11\r\n\r\n")
+        with pytest.raises(ParseError) as excinfo:
+            parser.next_request()
+        assert excinfo.value.status == 413
+
+    @pytest.mark.parametrize("value", [b"-1", b"abc", b"4,4"])
+    def test_malformed_content_length_is_400(self, value):
+        parser = RequestParser()
+        parser.feed(b"POST /x HTTP/1.1\r\nContent-Length: " + value
+                    + b"\r\n\r\n")
+        with pytest.raises(ParseError) as excinfo:
+            parser.next_request()
+        assert excinfo.value.status == 400
+
+    def test_conflicting_content_lengths_are_400(self):
+        parser = RequestParser()
+        parser.feed(b"POST /x HTTP/1.1\r\n"
+                    b"Content-Length: 4\r\nContent-Length: 5\r\n\r\n")
+        with pytest.raises(ParseError) as excinfo:
+            parser.next_request()
+        assert excinfo.value.status == 400
+
+    def test_transfer_encoding_plus_content_length_is_400(self):
+        # The textbook request-smuggling ambiguity: both framings present.
+        parser = RequestParser()
+        parser.feed(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                    b"Content-Length: 4\r\n\r\n")
+        with pytest.raises(ParseError) as excinfo:
+            parser.next_request()
+        assert excinfo.value.status == 400
+
+    def test_unknown_transfer_encoding_is_400(self):
+        parser = RequestParser()
+        parser.feed(b"POST /x HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n")
+        with pytest.raises(ParseError) as excinfo:
+            parser.next_request()
+        assert excinfo.value.status == 400
+
+
+class TestChunkedBody:
+    def test_chunked_body_reassembles(self):
+        request = parse_one(
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n")
+        assert request.body == b"hello world"
+
+    def test_chunk_extension_is_ignored(self):
+        request = parse_one(
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"5;ext=1\r\nhello\r\n0\r\n\r\n")
+        assert request.body == b"hello"
+
+    def test_trailer_fields_are_dropped(self):
+        request = parse_one(
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"2\r\nhi\r\n0\r\nX-Trailer: sneaky\r\n\r\n")
+        assert request.body == b"hi"
+        assert request.header("x-trailer") is None
+
+    @pytest.mark.parametrize("framing", [
+        b"zz\r\nhello\r\n0\r\n\r\n",     # non-hex size
+        b"\r\nhello\r\n0\r\n\r\n",       # empty size line
+        b"5\r\nhelloXX0\r\n\r\n",        # data not followed by CRLF
+    ])
+    def test_bad_chunk_framing_is_400(self, framing):
+        parser = RequestParser()
+        parser.feed(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                    + framing)
+        with pytest.raises(ParseError) as excinfo:
+            parser.next_request()
+        assert excinfo.value.status == 400
+
+    def test_chunked_body_over_limit_is_413(self):
+        limits = ParserLimits(max_body_bytes=8)
+        parser = RequestParser(limits)
+        parser.feed(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                    b"6\r\nsixsix\r\n6\r\nsixsix\r\n")
+        with pytest.raises(ParseError) as excinfo:
+            parser.next_request()
+        assert excinfo.value.status == 413
+
+    def test_endless_trailers_are_431(self):
+        limits = ParserLimits(max_header_count=3)
+        parser = RequestParser(limits)
+        parser.feed(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                    b"0\r\n" + b"T: v\r\n" * 5)
+        with pytest.raises(ParseError) as excinfo:
+            parser.next_request()
+        assert excinfo.value.status == 431
+
+
+class TestParserLifecycle:
+    def test_pipelined_requests_come_out_one_per_call(self):
+        parser = RequestParser()
+        parser.feed(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
+        assert parser.next_request().path == "/a"
+        assert not parser.idle  # second request still buffered
+        assert parser.next_request().path == "/b"
+        assert parser.next_request() is None
+        assert parser.idle
+
+    def test_parser_is_poisoned_after_an_error(self):
+        parser = RequestParser()
+        parser.feed(b"BAD\r\n\r\n")
+        with pytest.raises(ParseError):
+            parser.next_request()
+        with pytest.raises(ParseError):
+            parser.next_request()  # still the same error
+        with pytest.raises(ParseError):
+            parser.feed(b"GET / HTTP/1.1\r\n\r\n")  # no resync allowed
+
+    def test_keep_alive_semantics_by_version(self):
+        assert parse_one(b"GET / HTTP/1.1\r\n\r\n").keep_alive
+        assert not parse_one(
+            b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive
+        assert not parse_one(b"GET / HTTP/1.0\r\n\r\n").keep_alive
+        assert parse_one(
+            b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive

@@ -430,3 +430,142 @@ class TestResinFacade:
         assert isinstance(app, WebApplication)
         assert app.env is resin.env
         assert app.name == "demo"
+
+
+class TestScopedMiddleware:
+    def test_covers_subtree_boundaries_exactly(self):
+        from repro.web import ScopedMiddleware
+        scoped = ScopedMiddleware("/admin", lambda request, response: None)
+        assert scoped.covers("/admin")
+        assert scoped.covers("/admin/panel")
+        assert scoped.covers("/admin/a/b")
+        assert not scoped.covers("/administrator")
+        assert not scoped.covers("/public")
+        assert not scoped.covers("/")
+
+    def test_prefix_is_normalized(self):
+        from repro.web import ScopedMiddleware
+        scoped = ScopedMiddleware("admin/", lambda request, response: None)
+        assert scoped.prefix == "/admin"
+
+    def test_root_prefix_is_rejected(self):
+        from repro.web import ScopedMiddleware
+        with pytest.raises(ValueError):
+            ScopedMiddleware("/", lambda request, response: None)
+
+    def test_non_callable_is_rejected(self):
+        from repro.web import ScopedMiddleware
+        with pytest.raises(TypeError):
+            ScopedMiddleware("/admin", 42)
+
+    def test_all_three_phases_respect_the_scope(self, env):
+        from repro.web import ScopedMiddleware
+        app = WebApplication(env)
+        events = []
+
+        class Recorder(Middleware):
+            def process_request(self, request, response):
+                events.append(("req", request.path))
+
+            def process_response(self, request, response):
+                events.append(("resp", request.path))
+
+            def process_exception(self, request, response, exc):
+                events.append(("exc", request.path))
+
+        app.middleware(ScopedMiddleware("/admin", Recorder()))
+
+        @app.route("/admin/panel")
+        def panel(request, response):
+            response.write("panel")
+
+        @app.route("/public")
+        def public(request, response):
+            response.write("public")
+
+        app.handle(Request("/public"))
+        assert events == []
+        app.handle(Request("/admin/panel"))
+        assert events == [("req", "/admin/panel"), ("resp", "/admin/panel")]
+
+    def test_app_middleware_prefix_keyword_builds_a_scope(self, env):
+        app = WebApplication(env)
+        seen = []
+
+        @app.middleware(prefix="/api")
+        def tag(request, response):
+            seen.append(request.path)
+
+        @app.route("/api/v1")
+        def v1(request, response):
+            response.write("v1")
+
+        @app.route("/home")
+        def home(request, response):
+            response.write("home")
+
+        app.handle(Request("/home"))
+        app.handle(Request("/api/v1"))
+        assert seen == ["/api/v1"]
+
+    def test_short_circuit_still_works_inside_the_scope(self, env):
+        from repro.web import ScopedMiddleware
+        app = WebApplication(env)
+
+        def gate(request, response):
+            return Response("denied", status=403)
+
+        app.middleware(ScopedMiddleware("/admin", gate))
+
+        @app.route("/admin/panel")
+        def panel(request, response):
+            response.write("panel")
+
+        @app.route("/open")
+        def open_page(request, response):
+            response.write("open")
+
+        assert app.handle(Request("/admin/panel")).status == 403
+        assert app.handle(Request("/open")).body() == "open"
+
+    def test_bind_propagates_to_the_wrapped_middleware(self, env):
+        from repro.web import ScopedMiddleware, SessionMiddleware
+        app = WebApplication(env)
+        inner = SessionMiddleware()
+        app.middleware(ScopedMiddleware("/account", inner))
+        assert inner.app is app
+
+
+class TestRequestLogMiddleware:
+    def test_logs_method_path_user_and_final_status(self, env):
+        from repro.web import RequestLogMiddleware
+        app = WebApplication(env)
+        log = RequestLogMiddleware()
+        app.middleware(log)
+
+        @app.route("/page")
+        def page(request, response):
+            response.write("ok")
+
+        app.handle(Request("/page", user="alice"))
+        app.handle(Request("/missing", user="bob"))
+        assert log.entries == [("GET", "/page", "alice", 200),
+                               ("GET", "/missing", "bob", 404)]
+
+    def test_scoped_log_sees_only_its_subtree(self, env):
+        from repro.web import RequestLogMiddleware
+        app = WebApplication(env)
+        entries = []
+        app.middleware(RequestLogMiddleware(entries), prefix="/admin")
+
+        @app.route("/admin/panel")
+        def panel(request, response):
+            response.write("panel")
+
+        @app.route("/public")
+        def public(request, response):
+            response.write("public")
+
+        app.handle(Request("/public", user="eve"))
+        app.handle(Request("/admin/panel", user="root"))
+        assert entries == [("GET", "/admin/panel", "root", 200)]
