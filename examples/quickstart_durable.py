@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart, persistence variant: policies that survive a restart.
+
+The password assertion of ``examples/quickstart.py``, but on a *durable*
+environment (Section 3.4.1 of the paper: persistent policies follow data
+to stable storage and back).  ``Resin.open(path)`` attaches a write-ahead
+log + snapshot store under ``path``; every table and filesystem mutation is
+logged with its policies, and reopening the same path replays the store so
+the recovered data carries exactly the policies it was stored with — the
+disclosure check blocks the same flows after the "restart" as before it.
+
+Run with:  python examples/quickstart_durable.py
+"""
+
+import shutil
+import tempfile
+
+from repro import DisclosureViolation, PasswordPolicy, Resin
+
+
+def first_run(store: str) -> None:
+    """Set the password once; let RESIN persist it, policy and all."""
+    resin = Resin.open(store)
+
+    password = resin.policy(
+        PasswordPolicy, "alice@example.org").on("correct-horse-battery-staple")
+
+    resin.db.execute_unchecked(
+        "CREATE TABLE users (email TEXT, password TEXT)")
+    resin.db.query("INSERT INTO users (email, password) VALUES "
+                   "('alice@example.org', '" + password + "')")
+    resin.fs.mkdir("/backup")
+    resin.fs.write_text("/backup/alice.txt", password)
+
+    print("first run: stored password with policies",
+          resin.policies(password))
+
+    # A snapshot compacts the log; recovery also works from log alone.
+    resin.durability.checkpoint()
+    resin.durability.close()
+
+
+def after_restart(store: str) -> None:
+    """A fresh process: recover the store and watch the policy still bite."""
+    resin = Resin.open(store)
+
+    row = resin.db.query("SELECT password FROM users").rows[0]
+    print("recovered from table:", resin.policies(row["password"]))
+    backup = resin.fs.read_text("/backup/alice.txt")
+    print("recovered from file: ", resin.policies(backup))
+
+    # Allowed flow: e-mail the password to its owner.
+    message = resin.mail.send(to="alice@example.org",
+                              subject="Password reminder",
+                              body="Your password is " + row["password"])
+    print("mail delivered to", message.to)
+
+    # Forbidden flow: any other user's browser — still blocked, because the
+    # PasswordPolicy came back from disk attached to the data.
+    with resin.request(user="mallory@example.org") as adversary_page:
+        try:
+            adversary_page.write("debug dump: " + row["password"])
+        except DisclosureViolation as exc:
+            print("blocked after restart:", exc)
+    print("adversary saw:", repr(adversary_page.body()))
+
+    resin.durability.close()
+
+
+def main() -> None:
+    store = tempfile.mkdtemp(prefix="resin-quickstart-")
+    try:
+        first_run(store)
+        after_restart(store)
+    finally:
+        shutil.rmtree(store)
+
+
+if __name__ == "__main__":
+    main()

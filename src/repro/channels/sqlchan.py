@@ -16,6 +16,7 @@ application-supplied SQL-injection filter interposes (Section 5.3).
 """
 
 from __future__ import annotations
+import contextlib
 import json
 from typing import Any, List, Optional
 from ..core.context import FilterContext
@@ -64,17 +65,24 @@ def serialize_cell_policies(value: Any) -> Optional[str]:
                        "policies": serialize_policyset(policies)})
 
 
-def apply_cell_policies(value: Any, serialized: Optional[str]) -> Any:
-    """Re-attach the policies stored in ``serialized`` to ``value``."""
+def apply_cell_policies(value: Any, serialized: Optional[str], *,
+                        tolerant: bool = False) -> Any:
+    """Re-attach the policies stored in ``serialized`` to ``value``.
+
+    ``tolerant=True`` (set on databases recovered by a tolerant durability
+    open) loads policies whose class is unknown as deny-by-default
+    :class:`~repro.core.serialization.UnknownPolicy` placeholders instead of
+    raising, so one stale record cannot make a whole table unreadable."""
     if not serialized or value is None:
         return value
     record = json.loads(serialized)
     if record.get("kind") == "rangemap" and isinstance(value, str):
-        rangemap = deserialize_rangemap(record["map"])
+        rangemap = deserialize_rangemap(record["map"], tolerant=tolerant)
         if rangemap.length != len(value):
             rangemap = rangemap.spread(len(value)).with_length(len(value))
         return TaintedStr(str(value), rangemap)
-    policies = deserialize_policyset(record.get("policies", []))
+    policies = deserialize_policyset(record.get("policies", []),
+                                     tolerant=tolerant)
     if isinstance(value, str):
         result = TaintedStr(str(value))
         for policy in policies:
@@ -112,6 +120,10 @@ class Database:
         self.filter = FilterChain([default], ctx)
         self.context = ctx
         self.persist_policies = persist_policies
+        #: When True (set by a tolerant durability open), unknown policy
+        #: classes in stored policy columns load as deny-by-default
+        #: ``UnknownPolicy`` placeholders instead of failing the read.
+        self.tolerant_policies = False
 
     # -- filter management ---------------------------------------------------------
 
@@ -202,19 +214,40 @@ class Database:
         # engine (inspect schema, add policy columns, execute); hold the
         # locks of exactly the tables this statement touches across the
         # whole sequence, so concurrent requests see consistent schemas
-        # while statements on independent tables run in parallel.
-        with self.engine.locked(*self.engine.statement_tables(statement)):
-            if not self.persist_policies:
-                return self.engine.execute(statement)
-            if isinstance(statement, nodes.CreateTable):
-                return self._create(statement)
-            if isinstance(statement, nodes.Insert):
-                return self._insert(statement)
-            if isinstance(statement, nodes.Update):
-                return self._update(statement)
-            if isinstance(statement, nodes.Select):
-                return self._select(statement)
+        # while statements on independent tables run in parallel.  On a
+        # durable engine the whole mutating sequence additionally runs
+        # under the durability gate (taken before the table locks, the
+        # required order), so the lazy ``add_column`` calls below stay
+        # atomic with respect to checkpoints; the engine's nested gate
+        # entries are reentrant and its nested commits defer to ours.
+        mutates = not isinstance(statement, nodes.Select)
+        with self._durable_scope(mutates):
+            with self.engine.locked(*self.engine.statement_tables(statement)):
+                result = self._dispatch(statement)
+        if mutates:
+            sink = self.engine.durability
+            if sink is not None:
+                sink.commit()
+        return result
+
+    def _durable_scope(self, mutates: bool):
+        sink = self.engine.durability
+        if sink is None or not mutates:
+            return contextlib.nullcontext()
+        return sink.mutation()
+
+    def _dispatch(self, statement) -> Result:
+        if not self.persist_policies:
             return self.engine.execute(statement)
+        if isinstance(statement, nodes.CreateTable):
+            return self._create(statement)
+        if isinstance(statement, nodes.Insert):
+            return self._insert(statement)
+        if isinstance(statement, nodes.Update):
+            return self._update(statement)
+        if isinstance(statement, nodes.Select):
+            return self._select(statement)
+        return self.engine.execute(statement)
 
     def _create(self, stmt: nodes.CreateTable) -> Result:
         augmented_columns: List[nodes.ColumnDef] = []
@@ -307,7 +340,8 @@ class Database:
             for data_name, policy_name in annotate:
                 if policy_name and policy_name in row:
                     values[data_name] = apply_cell_policies(
-                        values.get(data_name), row[policy_name])
+                        values.get(data_name), row[policy_name],
+                        tolerant=self.tolerant_policies)
             out_rows.append(Row(requested, [values[c] for c in requested]))
         return Result(requested, out_rows)
 

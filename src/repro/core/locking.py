@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
-from typing import Callable, Dict, FrozenSet, Iterator
+from typing import Callable, Dict, FrozenSet, Iterator, Optional
 
 
 class OrderedLockRegistry:
@@ -92,3 +92,114 @@ class OrderedLockRegistry:
             stack.pop()
             for lock in reversed(locks):
                 lock.release()
+
+
+class SharedExclusiveGate:
+    """A shared/exclusive gate for rare stop-the-world sections.
+
+    The durability subsystem (:mod:`repro.storage`) uses this to make
+    checkpoints atomic with respect to logged mutations: every
+    mutate-and-log pair runs under the *shared* side (many at once, cheap),
+    while a checkpoint takes the *exclusive* side, waits for in-flight
+    pairs to drain, and snapshots a state that matches the log exactly.
+
+    Properties that keep it deadlock-free in this role:
+
+    * the shared side is **reentrant per thread** (a gated region may call
+      into another gated region, e.g. the SQL channel's policy-persistence
+      sequence wrapping the engine's own mutation);
+    * a shared entry only waits while an exclusive section is *running* —
+      never for a queued exclusive *waiter*.  The exclusive holder takes no
+      other locks (the checkpoint reads plain data structures), so it
+      always completes and every blocked shared entry unblocks.  If a
+      waiter barred new shared entries instead, a thread that took a
+      substrate lock first (``db.transaction``) and the gate second could
+      deadlock against a mutator holding the gate and waiting for that
+      lock.  The price is that a blocking :meth:`exclusive` can starve
+      under a sustained mutation stream — acceptable for checkpoints,
+      which are opportunistic anyway.
+
+    :meth:`try_exclusive` is the non-blocking flavour used for
+    opportunistic auto-checkpoints: if any shared holder is active it
+    returns ``None`` instead of waiting, so it is safe to call from a
+    thread that still holds substrate locks.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._shared = 0
+        self._shared_waiting = 0
+        self._exclusive = False
+        self._local = threading.local()
+
+    def shared_depth(self) -> int:
+        """The calling thread's shared reentrancy depth (0 = not inside)."""
+        return getattr(self._local, "depth", 0)
+
+    @contextlib.contextmanager
+    def shared(self) -> Iterator[None]:
+        depth = self.shared_depth()
+        if depth == 0:
+            with self._cond:
+                while self._exclusive:
+                    self._shared_waiting += 1
+                    try:
+                        self._cond.wait()
+                    finally:
+                        self._shared_waiting -= 1
+                self._shared += 1
+        self._local.depth = depth + 1
+        try:
+            yield
+        finally:
+            self._local.depth = depth
+            if depth == 0:
+                with self._cond:
+                    self._shared -= 1
+                    if self._shared == 0:
+                        self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def exclusive(self) -> Iterator[None]:
+        if self.shared_depth():
+            raise RuntimeError(
+                "cannot take the exclusive side of a gate from inside a "
+                "shared section (checkpoint called from within a durable "
+                "mutation)")
+        with self._cond:
+            # Yield to mutators blocked by the *previous* exclusive section:
+            # without this a back-to-back checkpoint loop could re-acquire
+            # before the woken shared waiters get scheduled, starving them.
+            while self._exclusive or self._shared or self._shared_waiting:
+                self._cond.wait()
+            self._exclusive = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._exclusive = False
+                self._cond.notify_all()
+
+    def try_exclusive(self) -> Optional[contextlib.AbstractContextManager]:
+        """The exclusive side if it is free *right now*, else ``None``.
+
+        Never blocks, so it may be called while holding substrate locks —
+        a busy gate just means "skip this opportunity".
+        """
+        if self.shared_depth():
+            return None
+        with self._cond:
+            if self._exclusive or self._shared:
+                return None
+            self._exclusive = True
+
+        @contextlib.contextmanager
+        def _release():
+            try:
+                yield
+            finally:
+                with self._cond:
+                    self._exclusive = False
+                    self._cond.notify_all()
+
+        return _release()

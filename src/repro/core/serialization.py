@@ -9,14 +9,24 @@ stored policies.
 The wire format is JSON: a policy is ``{"class": "<qualified name>",
 "fields": {...}}`` and a byte/character range map is a list of
 ``[start, stop, [policy, ...]]`` segments.
+
+Two deserialization modes exist.  The strict default raises
+:class:`~repro.core.exceptions.SerializationError` on an unknown policy
+class.  The *tolerant* mode — used by the durable storage engine
+(:mod:`repro.storage`) when recovering a store written by a different
+deployment — loads the record as an opaque :class:`UnknownPolicy`
+placeholder instead: the data stays readable inside the runtime, the
+original record is preserved verbatim for re-serialization, and any attempt
+to *export* the data is denied (an unknown assertion must fail closed, not
+vanish).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional, Type
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Type
 
-from .exceptions import SerializationError
+from .exceptions import PolicyViolation, SerializationError
 from .policy import Policy
 from .policyset import PolicySet, as_policyset
 from ..tracking.ranges import RangeMap
@@ -28,12 +38,13 @@ __all__ = [
     "serialize_rangemap", "deserialize_rangemap",
     "dumps_policyset", "loads_policyset",
     "dumps_rangemap", "loads_rangemap",
+    "encode_field", "decode_field", "UnknownPolicy",
 ]
 
 _REGISTRY: Dict[str, Type[Policy]] = {}
 
 
-def qualified_name(cls: Type[Policy]) -> str:
+def qualified_name(cls: type) -> str:
     return f"{cls.__module__}.{cls.__qualname__}"
 
 
@@ -52,7 +63,7 @@ def register_policy_class(cls: Type[Policy]) -> Type[Policy]:
     return cls
 
 
-def _scan_subclasses(base: Type[Policy]) -> Iterable[Type[Policy]]:
+def _scan_subclasses(base: type) -> Iterable[type]:
     for sub in base.__subclasses__():
         yield sub
         yield from _scan_subclasses(sub)
@@ -69,16 +80,35 @@ def find_policy_class(name: str) -> Type[Policy]:
     raise SerializationError(f"unknown policy class {name!r}")
 
 
-def _encode_field(value: Any) -> Any:
+def _stable_sort_key(encoded: Any) -> str:
+    """A total order over already-encoded field values.
+
+    Set members encode to heterogeneous JSON values (strings, numbers,
+    tagged dicts for policies/tuples), which Python's ``sorted`` cannot
+    compare directly — a set like ``{1, "a"}`` or a set of policies used to
+    raise ``TypeError`` here.  The canonical JSON dump is a stable,
+    deterministic key for any encoded value.
+    """
+    return json.dumps(encoded, sort_keys=True)
+
+
+def encode_field(value: Any) -> Any:
+    """Encode one serializable field value to a JSON-able form.
+
+    Public counterpart of the policy field codec: the storage engine uses it
+    to persist filter-object fields with exactly the policy rules (data
+    only, never code).
+    """
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     if isinstance(value, (list, tuple)):
-        return {"__seq__": [_encode_field(v) for v in value],
+        return {"__seq__": [encode_field(v) for v in value],
                 "__tuple__": isinstance(value, tuple)}
     if isinstance(value, (set, frozenset)):
-        return {"__set__": sorted(_encode_field(v) for v in value)}
+        return {"__set__": sorted((encode_field(v) for v in value),
+                                  key=_stable_sort_key)}
     if isinstance(value, dict):
-        return {"__dict__": {str(k): _encode_field(v)
+        return {"__dict__": {str(k): encode_field(v)
                              for k, v in value.items()}}
     if isinstance(value, Policy):
         return {"__policy__": serialize_policy(value)}
@@ -86,43 +116,93 @@ def _encode_field(value: Any) -> Any:
         f"policy field of type {type(value).__name__} is not serializable")
 
 
-def _decode_field(value: Any) -> Any:
+def decode_field(value: Any, *, tolerant: bool = False) -> Any:
     if isinstance(value, dict):
         if "__seq__" in value:
-            seq = [_decode_field(v) for v in value["__seq__"]]
+            seq = [decode_field(v, tolerant=tolerant)
+                   for v in value["__seq__"]]
             return tuple(seq) if value.get("__tuple__") else seq
         if "__set__" in value:
-            return set(_decode_field(v) for v in value["__set__"])
+            return set(decode_field(v, tolerant=tolerant)
+                       for v in value["__set__"])
         if "__dict__" in value:
-            return {k: _decode_field(v) for k, v in value["__dict__"].items()}
+            return {k: decode_field(v, tolerant=tolerant)
+                    for k, v in value["__dict__"].items()}
         if "__policy__" in value:
-            return deserialize_policy(value["__policy__"])
+            return deserialize_policy(value["__policy__"], tolerant=tolerant)
     return value
+
+
+# Backwards-compatible private aliases (pre-storage-engine names).
+_encode_field = encode_field
+_decode_field = decode_field
+
+
+class UnknownPolicy(Policy):
+    """Placeholder for a stored policy whose class cannot be resolved.
+
+    Recovery must not lose data because one record references a policy class
+    this deployment does not ship (Section 3.4.1 stores class names, not
+    code).  The placeholder keeps the original record verbatim — so
+    re-serializing it round-trips losslessly and a later deployment that
+    *does* know the class reads it back intact — and denies every export:
+    an assertion we cannot evaluate has to fail closed.
+    """
+
+    def __init__(self, class_name: str, record: Optional[dict] = None):
+        self.class_name = str(class_name)
+        self.record = record if record is not None else {}
+
+    def export_check(self, context: Mapping[str, Any]) -> None:
+        raise PolicyViolation(
+            f"data carries unknown policy class {self.class_name!r}; "
+            "denying export (deny-by-default for unresolvable assertions)",
+            policy=self, context=context)
+
+    def __repr__(self) -> str:
+        return f"UnknownPolicy({self.class_name!r})"
 
 
 def serialize_policy(policy: Policy) -> Dict[str, Any]:
     """Serialize one policy to a JSON-able dict (class name + fields)."""
+    if isinstance(policy, UnknownPolicy):
+        # Round-trip the original record: the placeholder never rewrites
+        # what some other deployment stored.
+        return {"class": policy.class_name,
+                "fields": dict(policy.record.get("fields", {}))}
     return {
         "class": qualified_name(type(policy)),
-        "fields": {key: _encode_field(value)
+        "fields": {key: encode_field(value)
                    for key, value in policy.serializable_fields().items()},
     }
 
 
-def deserialize_policy(record: Dict[str, Any]) -> Policy:
+def deserialize_policy(record: Dict[str, Any], *,
+                       tolerant: bool = False) -> Policy:
     """Re-create a policy from its serialized form.
 
     The object is created without invoking ``__init__`` — exactly the fields
     that were stored are restored — so a policy class may change its
     constructor signature without breaking stored policies.
+
+    With ``tolerant=True`` an unknown policy class yields an
+    :class:`UnknownPolicy` placeholder instead of raising, so one stale
+    record cannot make a whole store unrecoverable.
     """
     try:
-        cls = find_policy_class(record["class"])
+        name = record["class"]
     except KeyError as exc:
         raise SerializationError(f"malformed policy record: {record!r}") from exc
+    try:
+        cls = find_policy_class(name)
+    except SerializationError:
+        if not tolerant:
+            raise
+        return UnknownPolicy(name, {"class": name,
+                                    "fields": dict(record.get("fields", {}))})
     policy = cls.__new__(cls)
     for key, value in record.get("fields", {}).items():
-        setattr(policy, key, _decode_field(value))
+        setattr(policy, key, decode_field(value, tolerant=tolerant))
     return policy
 
 
@@ -130,8 +210,10 @@ def serialize_policyset(policies) -> List[Dict[str, Any]]:
     return [serialize_policy(p) for p in as_policyset(policies)]
 
 
-def deserialize_policyset(records: Iterable[Dict[str, Any]]) -> PolicySet:
-    return PolicySet(deserialize_policy(r) for r in records)
+def deserialize_policyset(records: Iterable[Dict[str, Any]], *,
+                          tolerant: bool = False) -> PolicySet:
+    return PolicySet(deserialize_policy(r, tolerant=tolerant)
+                     for r in records)
 
 
 def serialize_rangemap(rangemap: RangeMap) -> Dict[str, Any]:
@@ -144,10 +226,12 @@ def serialize_rangemap(rangemap: RangeMap) -> Dict[str, Any]:
     }
 
 
-def deserialize_rangemap(record: Dict[str, Any]) -> RangeMap:
+def deserialize_rangemap(record: Dict[str, Any], *,
+                         tolerant: bool = False) -> RangeMap:
     return RangeMap.from_segments(
         record["length"],
-        [(start, stop, [deserialize_policy(p) for p in policies])
+        [(start, stop, [deserialize_policy(p, tolerant=tolerant)
+                        for p in policies])
          for start, stop, policies in record.get("segments", [])])
 
 
@@ -156,18 +240,20 @@ def dumps_policyset(policies) -> str:
     return json.dumps(serialize_policyset(policies), sort_keys=True)
 
 
-def loads_policyset(text: Optional[str]) -> PolicySet:
+def loads_policyset(text: Optional[str], *,
+                    tolerant: bool = False) -> PolicySet:
     """De-serialize a policy set from a JSON string (None/empty → empty set)."""
     if not text:
         return PolicySet.empty()
-    return deserialize_policyset(json.loads(text))
+    return deserialize_policyset(json.loads(text), tolerant=tolerant)
 
 
 def dumps_rangemap(rangemap: RangeMap) -> str:
     return json.dumps(serialize_rangemap(rangemap), sort_keys=True)
 
 
-def loads_rangemap(text: Optional[str], length: int = 0) -> RangeMap:
+def loads_rangemap(text: Optional[str], length: int = 0, *,
+                   tolerant: bool = False) -> RangeMap:
     if not text:
         return RangeMap.empty(length)
-    return deserialize_rangemap(json.loads(text))
+    return deserialize_rangemap(json.loads(text), tolerant=tolerant)

@@ -33,6 +33,7 @@ ancestor directory never becomes a hidden channel between concurrent requests.
 
 from __future__ import annotations
 
+import contextlib
 import copy
 from typing import Any, Dict, Iterator, List, Optional
 
@@ -132,6 +133,46 @@ class ResinFS:
         self.registry = resolve_registry(registry, env)
         self.env = env
         self._request_context: Dict[str, Any] = {}
+        #: Optional :class:`repro.storage.durability.Durability` sink.  When
+        #: set, every namespace op and data/xattr write runs under the
+        #: durability gate and logs its physical effect to the WAL.
+        self.durability = None
+        #: When True (set by a tolerant durability open), unknown policy
+        #: classes in stored xattrs load as deny-by-default placeholders
+        #: instead of failing the read.
+        self.tolerant_policies = False
+
+    # -- durability --------------------------------------------------------------
+
+    def _durable(self):
+        """The gate a mutate-and-log pair runs under (no-op when the
+        filesystem is not durable).  Acquired *before* the subtree locks —
+        the ordering the durability gate's deadlock-freedom argument relies
+        on — and reentrant per thread."""
+        sink = self.durability
+        return sink.mutation() if sink is not None else contextlib.nullcontext()
+
+    def _log(self, record: Dict[str, Any]) -> None:
+        sink = self.durability
+        if sink is not None:
+            sink.log(record)
+
+    def _commit_durable(self) -> None:
+        """Group-commit after the subtree locks are released, so the fsync
+        never extends lock hold time."""
+        sink = self.durability
+        if sink is not None:
+            sink.commit()
+
+    def _log_file_state(self, path: str, data: TaintedBytes) -> None:
+        """Log the file's full post-write image (bytes + serialized policy
+        range map): replay restores data and taint in one step."""
+        if self.durability is None:
+            return
+        serialized = (None if data.rangemap.is_empty()
+                      else dumps_rangemap(data.rangemap))
+        self._log({"op": "fs.write", "path": path,
+                   "data": bytes(data).hex(), "policies": serialized})
 
     # -- locking ---------------------------------------------------------------
 
@@ -219,10 +260,33 @@ class ResinFS:
     # -- persistent filters ------------------------------------------------------
 
     def set_persistent_filter(self, path: str, flt: Filter) -> None:
-        """Attach a persistent filter object to a file or directory."""
+        """Attach a persistent filter object to a file or directory.
+
+        On a durable filesystem the filter is serialized (class name + data
+        fields, like a policy) into the log so it survives restart.  A
+        filter that carries code (e.g. a callable predicate) cannot be
+        serialized; it still guards this process but must be re-attached at
+        application start-up after a restart.
+        """
         if not isinstance(flt, Filter):
             raise FileSystemError("persistent filter must be a Filter")
-        self.raw.set_xattr(path, FILTER_XATTR, flt)
+        path = fspath.normalize(path)
+        with self._durable():
+            with self.raw.locked(self.subtree_of(path)):
+                self.raw.set_xattr(path, FILTER_XATTR, flt)
+                self._log_filter(path, flt)
+        self._commit_durable()
+
+    def _log_filter(self, path: str, flt: Filter) -> None:
+        if self.durability is None:
+            return
+        from ..core.exceptions import SerializationError
+        from ..storage.snapshot import serialize_filter
+        try:
+            record = serialize_filter(flt)
+        except SerializationError:
+            return
+        self._log({"op": "fs.filter", "path": path, "filter": record})
 
     def get_persistent_filter(self, path: str) -> Optional[Filter]:
         if not self.raw.exists(path):
@@ -231,7 +295,12 @@ class ResinFS:
         return flt if isinstance(flt, Filter) else None
 
     def remove_persistent_filter(self, path: str) -> None:
-        self.raw.remove_xattr(path, FILTER_XATTR)
+        path = fspath.normalize(path)
+        with self._durable():
+            with self.raw.locked(self.subtree_of(path)):
+                self.raw.remove_xattr(path, FILTER_XATTR)
+                self._log({"op": "fs.unfilter", "path": path})
+        self._commit_durable()
 
     def _guarding_filters(self, path: str) -> Iterator[Filter]:
         """Yield the persistent filters that guard ``path``: the one attached
@@ -315,7 +384,8 @@ class ResinFS:
 
     def _load_policies(self, path: str, raw_data: bytes) -> TaintedBytes:
         serialized = self.raw.get_xattr(path, POLICY_XATTR)
-        rangemap = loads_rangemap(serialized, len(raw_data))
+        rangemap = loads_rangemap(serialized, len(raw_data),
+                                  tolerant=self.tolerant_policies)
         if rangemap.length != len(raw_data):
             # The file was modified behind RESIN's back; fall back to
             # spreading the stored policies over the whole file.
@@ -347,16 +417,20 @@ class ResinFS:
             ).encode()
         elif not isinstance(data, TaintedBytes):
             data = TaintedBytes(bytes(data))
-        with self.raw.locked(self.subtree_of(path)):
-            if not self.raw.exists(path):
-                self._check_directory_mutation("create", path)
-            data = self._default_filter(path).filter_write(data)
-            data = self._invoke_persistent_write(path, data)
-            if append and self.raw.exists(path):
-                existing = self._load_policies(path, self.raw.read_raw(path))
-                data = existing + data
-            self.raw.write_raw(path, bytes(data))
-            self._store_policies(path, data)
+        with self._durable():
+            with self.raw.locked(self.subtree_of(path)):
+                if not self.raw.exists(path):
+                    self._check_directory_mutation("create", path)
+                data = self._default_filter(path).filter_write(data)
+                data = self._invoke_persistent_write(path, data)
+                if append and self.raw.exists(path):
+                    existing = self._load_policies(
+                        path, self.raw.read_raw(path))
+                    data = existing + data
+                self.raw.write_raw(path, bytes(data))
+                self._store_policies(path, data)
+                self._log_file_state(path, data)
+        self._commit_durable()
 
     def write_text(
         self, path: str, text, append: bool = False, encoding: str = "utf-8"
@@ -370,10 +444,13 @@ class ResinFS:
         """Attach ``policy`` to every byte of an existing file (used by
         installers, e.g. ``make_file_executable`` in Figure 6)."""
         path = fspath.normalize(path)
-        with self.raw.locked(self.subtree_of(path)):
-            data = self.read_bytes(path).with_policy(policy)
-            self.raw.write_raw(path, bytes(data))
-            self._store_policies(path, data)
+        with self._durable():
+            with self.raw.locked(self.subtree_of(path)):
+                data = self.read_bytes(path).with_policy(policy)
+                self.raw.write_raw(path, bytes(data))
+                self._store_policies(path, data)
+                self._log_file_state(path, data)
+        self._commit_durable()
 
     def file_policies(self, path: str):
         """The policy set stored for a file (without reading it through the
@@ -390,24 +467,33 @@ class ResinFS:
         path = fspath.normalize(path)
         if path == "/":
             return
-        with self.raw.plan_locked(self.raw.mkdir_subtrees, path, parents):
-            self._check_directory_mutation("mkdir", path)
-            self.raw._mkdir_locked(path, parents)
+        with self._durable():
+            with self.raw.plan_locked(self.raw.mkdir_subtrees, path, parents):
+                self._check_directory_mutation("mkdir", path)
+                self.raw._mkdir_locked(path, parents)
+                self._log({"op": "fs.mkdir", "path": path})
+        self._commit_durable()
 
     def unlink(self, path: str) -> None:
         path = fspath.normalize(path)
-        with self.raw.plan_locked(self.raw.unlink_subtrees, path):
-            self._check_directory_mutation("unlink", path)
-            self.raw._unlink_locked(path)
+        with self._durable():
+            with self.raw.plan_locked(self.raw.unlink_subtrees, path):
+                self._check_directory_mutation("unlink", path)
+                self.raw._unlink_locked(path)
+                self._log({"op": "fs.unlink", "path": path})
+        self._commit_durable()
 
     def rename(self, src: str, dst: str) -> None:
         src = fspath.normalize(src)
         dst = fspath.normalize(dst)
-        with self.raw.plan_locked(self.raw.rename_subtrees, src, dst):
-            self._check_directory_mutation("rename", src)
-            self._check_directory_mutation("rename", dst)
-            # Carry the source's persistent filter and policies along.
-            self.raw._rename_locked(src, dst)
+        with self._durable():
+            with self.raw.plan_locked(self.raw.rename_subtrees, src, dst):
+                self._check_directory_mutation("rename", src)
+                self._check_directory_mutation("rename", dst)
+                # Carry the source's persistent filter and policies along.
+                self.raw._rename_locked(src, dst)
+                self._log({"op": "fs.rename", "src": src, "dst": dst})
+        self._commit_durable()
 
     def listdir(self, path: str) -> List[str]:
         return self.raw.listdir(path)

@@ -274,6 +274,44 @@ class Resin:
     def __init__(self, env: Optional[Environment] = None, **env_kwargs: Any):
         self.env = env if env is not None else Environment(**env_kwargs)
 
+    # -- durable storage ---------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: str, *, sync: str = "fsync", group_commit: bool = True,
+             tolerant: bool = False, checkpoint_bytes: Optional[int] = None,
+             **env_kwargs: Any) -> "Resin":
+        """Open (or create) a durable environment stored at ``path``.
+
+        One line does the whole open-recover-resume cycle: build a fresh
+        environment, load the newest snapshot under ``path``, replay the WAL
+        tail (tolerating a torn final record), and attach the
+        :class:`~repro.storage.durability.Durability` service so every
+        subsequent table and filesystem mutation — with its policies — is
+        logged::
+
+            resin = Resin.open("/var/lib/myapp")
+            resin.db.query("INSERT INTO ...")     # durable
+            resin.durability.close()              # flush on shutdown
+
+        ``tolerant=True`` loads records referencing unknown policy/filter
+        classes as deny-by-default placeholders instead of failing recovery.
+        """
+        from .storage.durability import DEFAULT_CHECKPOINT_BYTES, Durability
+        if checkpoint_bytes is None:
+            checkpoint_bytes = DEFAULT_CHECKPOINT_BYTES
+        resin = cls(**env_kwargs)
+        Durability.open(resin.env, path, sync=sync, group_commit=group_commit,
+                        checkpoint_bytes=checkpoint_bytes, tolerant=tolerant)
+        return resin
+
+    @property
+    def durability(self):
+        """The :class:`~repro.storage.durability.Durability` service attached
+        to this environment, or ``None`` (sugar for
+        ``resin.services.get("storage.durability")``)."""
+        from .storage.durability import SERVICE_NAME
+        return self.env.services.get(SERVICE_NAME)
+
     # -- handy substrate accessors ----------------------------------------------
 
     @property
@@ -448,31 +486,52 @@ class Resin:
                                max_in_flight=max_in_flight, resin=self)
 
     def serve_async(self, app, host: str = "127.0.0.1", port: int = 0,
-                    **options: Any):
+                    durable: Optional[str] = None, **options: Any):
         """A real HTTP/1.1 socket server
         (:class:`~repro.server.http.HTTPServer`) in front of ``app``, not
         yet bound — ``async with resin.serve_async(app) as server:`` binds
         the listening socket and drains it on exit.  ``options`` are the
         ``HTTPServer`` keyword arguments (workers, timeouts, parser limits,
-        ``user_header`` for trusted harnesses, ...)."""
+        ``user_header`` for trusted harnesses, ...).
+
+        ``durable=<path>`` attaches durable storage at ``path`` (recovering
+        any existing state) before serving — note that recovery mutates the
+        environment, so pass it before the app seeds demo data, or build the
+        app on ``Resin.open(path)`` instead for full control."""
+        self._ensure_durable(durable)
         from .server.http import HTTPServer
         options.setdefault("resin", self)
         return HTTPServer(app, host=host, port=port, **options)
 
     def serve(self, app, host: str = "127.0.0.1", port: int = 0,
-              **options: Any):
+              durable: Optional[str] = None, **options: Any):
         """Serve ``app`` over a loopback (or given) socket from a
         background event-loop thread, for synchronous callers::
 
-            with resin.serve(app) as handle:
+            with resin.serve(app, durable="/var/lib/app") as handle:
                 conn = http.client.HTTPConnection("127.0.0.1", handle.port)
 
         Returns a started :class:`~repro.server.http.ServerHandle`; leaving
         the ``with`` block (or calling ``handle.close()``) drains the
-        server gracefully."""
+        server gracefully.  ``durable=<path>`` attaches durable storage at
+        ``path`` (see :meth:`serve_async`)."""
         from .server.http.server import ServerHandle
         return ServerHandle(self.serve_async(app, host=host, port=port,
+                                             durable=durable,
                                              **options)).start()
+
+    def _ensure_durable(self, path: Optional[str]) -> None:
+        if path is None:
+            return
+        store = self.durability
+        if store is not None:
+            if store.directory != path:
+                raise FilterError(
+                    f"environment already durable at {store.directory!r}; "
+                    f"cannot also open {path!r}")
+            return
+        from .storage.durability import Durability
+        Durability.open(self.env, path)
 
     def __repr__(self) -> str:
         return f"Resin(registry={self.registry!r})"

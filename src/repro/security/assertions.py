@@ -13,9 +13,9 @@ tens of lines — and they reuse the application's own code and data structures
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, Mapping, Optional
 
-from ..core.exceptions import AccessDenied, InjectionViolation
+from ..core.exceptions import AccessDenied, InjectionViolation, SerializationError
 from ..core.filter import Filter
 from ..core.request_context import request_scoped_context
 from ..policies.acl import ACL
@@ -266,7 +266,21 @@ class WriteAccessFilter(Filter):
     MoinMoin write-ACL assertion) or an arbitrary callable
     ``allowed(user, operation, path)`` (the file-manager home-directory
     assertion).
+
+    ACL-based instances are durable: :meth:`serializable_fields` exposes the
+    ACL and right the way a policy exposes its data fields, so the storage
+    engine (:mod:`repro.storage`) can persist the filter and restore it on
+    recovery.  Callable-based instances carry *code*, which persistent
+    records never store — serializing one raises
+    :class:`~repro.core.exceptions.SerializationError`, and the durability
+    layer skips it (re-attach such filters at application start-up).
     """
+
+    #: Restore path (``__new__`` + stored fields, no ``__init__``) falls back
+    #: to these class attributes for fields that were not persisted.
+    acl: Optional[ACL] = None
+    allowed: Optional[Callable[[Optional[str], str, str], bool]] = None
+    right: str = "write"
 
     def __init__(self, acl: Optional[ACL] = None,
                  allowed: Optional[Callable[[Optional[str], str, str], bool]] = None,
@@ -278,6 +292,19 @@ class WriteAccessFilter(Filter):
         self.acl = acl
         self.allowed = allowed
         self.right = right
+
+    def serializable_fields(self) -> Dict[str, Any]:
+        if self.allowed is not None:
+            raise SerializationError(
+                "WriteAccessFilter with a callable predicate carries code "
+                "and cannot be persisted; use an ACL for durable filters")
+        return {"acl": self.acl.to_dict(), "right": self.right}
+
+    def __setattr__(self, key, value):
+        # De-serialization restores ``acl`` as a plain dict; rebuild the ACL.
+        if key == "acl" and isinstance(value, Mapping):
+            value = ACL.from_dict(value)
+        super().__setattr__(key, value)
 
     def _permitted(self, operation: str) -> bool:
         user = self.context.get("user")

@@ -106,6 +106,10 @@ class Engine:
 
     def __init__(self):
         self.tables: Dict[str, Table] = {}
+        #: Optional :class:`repro.storage.durability.Durability` sink.  When
+        #: set, every mutation runs under the durability gate and logs its
+        #: physical effect (row images, not statements) to the WAL.
+        self.durability = None
         #: The shared ordered-lock machinery (same as the filesystem's
         #: per-subtree locks): one reentrant lock per table name,
         #: sorted-order multi-acquisition, fail-fast ordering violations.
@@ -153,32 +157,80 @@ class Engine:
         table = getattr(statement, "table", None)
         return () if table is None else (str(table),)
 
+    # -- durability hooks --------------------------------------------------------
+
+    def _durable(self):
+        """The gate a mutate-and-log pair runs under (no-op when the engine
+        is not durable).  Acquired *before* the table lock — the ordering
+        the durability gate's deadlock-freedom argument relies on — and
+        reentrant, so the SQL channel's enclosing gate nests harmlessly."""
+        sink = self.durability
+        return sink.mutation() if sink is not None else contextlib.nullcontext()
+
+    def _log(self, record: Dict[str, Any]) -> None:
+        sink = self.durability
+        if sink is not None:
+            sink.log(record)
+
+    def _commit_durable(self) -> None:
+        """Group-commit the records this statement logged.  Called after the
+        table lock is released, so the fsync never extends lock hold time;
+        inside an enclosing durable scope (the SQL channel's) it defers to
+        that scope's commit."""
+        sink = self.durability
+        if sink is not None:
+            sink.commit()
+
+    @staticmethod
+    def _encode_cell(value: Any) -> Any:
+        from ..storage.wal import encode_value
+        return encode_value(value)
+
+    def _log_rows(self, op: str, table: Table, payload: Dict[str, Any]) -> None:
+        """Log a row-level mutation record carrying the table's full column
+        list of this moment, so replay materializes lazily-added policy
+        columns exactly as the live path did."""
+        record = {"op": op, "table": table.name,
+                  "columns": list(table.column_names)}
+        record.update(payload)
+        self._log(record)
+
     # -- public API -------------------------------------------------------------
 
     def execute(self, statement) -> Result:
         """Execute a SQL string or a parsed statement."""
         if isinstance(statement, str):
             statement = parse(statement)
-        if isinstance(statement, nodes.CreateTable):
-            with self.locked(statement.table), self.catalog_lock:
-                return self._create(statement)
-        if isinstance(statement, nodes.DropTable):
-            with self.locked(statement.table), self.catalog_lock:
-                return self._drop(statement)
-        if isinstance(statement, nodes.Insert):
-            with self.locked(statement.table):
-                return self._insert(statement)
         if isinstance(statement, nodes.Select):
             if statement.table is None:
                 return self._select(statement)
             with self.locked(statement.table):
                 return self._select(statement)
+        result = self._execute_mutation(statement)
+        self._commit_durable()
+        return result
+
+    def _execute_mutation(self, statement) -> Result:
+        if isinstance(statement, nodes.CreateTable):
+            with self._durable():
+                with self.locked(statement.table), self.catalog_lock:
+                    return self._create(statement)
+        if isinstance(statement, nodes.DropTable):
+            with self._durable():
+                with self.locked(statement.table), self.catalog_lock:
+                    return self._drop(statement)
+        if isinstance(statement, nodes.Insert):
+            with self._durable():
+                with self.locked(statement.table):
+                    return self._insert(statement)
         if isinstance(statement, nodes.Update):
-            with self.locked(statement.table):
-                return self._update(statement)
+            with self._durable():
+                with self.locked(statement.table):
+                    return self._update(statement)
         if isinstance(statement, nodes.Delete):
-            with self.locked(statement.table):
-                return self._delete(statement)
+            with self._durable():
+                with self.locked(statement.table):
+                    return self._delete(statement)
         raise SQLError(f"cannot execute {type(statement).__name__}")
 
     def table(self, name: str) -> Table:
@@ -199,7 +251,11 @@ class Engine:
             if stmt.if_not_exists:
                 return Result()
             raise SQLError(f"table {stmt.table} already exists")
-        self.tables[stmt.table] = Table(stmt.table, stmt.columns)
+        table = Table(stmt.table, stmt.columns)
+        self.tables[stmt.table] = table
+        self._log({"op": "sql.create", "table": table.name,
+                   "columns": [[c.name, c.type, list(c.constraints)]
+                               for c in table.columns]})
         return Result()
 
     def _drop(self, stmt: nodes.DropTable) -> Result:
@@ -208,6 +264,7 @@ class Engine:
                 return Result()
             raise SQLError(f"no such table: {stmt.table}")
         del self.tables[stmt.table]
+        self._log({"op": "sql.drop", "table": stmt.table})
         return Result()
 
     def _insert(self, stmt: nodes.Insert) -> Result:
@@ -216,14 +273,18 @@ class Engine:
             if not table.has_column(column):
                 raise SQLError(
                     f"table {table.name} has no column {column!r}")
-        inserted = 0
+        new_rows: List[Dict[str, Any]] = []
         for row_exprs in stmt.rows:
             row = {name: None for name in table.column_names}
             for column, expr in zip(stmt.columns, row_exprs):
                 row[column] = _stored_value(self._evaluate(expr, None, table))
             table.rows.append(row)
-            inserted += 1
-        return Result(rowcount=inserted)
+            new_rows.append(row)
+        if new_rows and self.durability is not None:
+            self._log_rows("sql.insert", table, {"rows": [
+                [self._encode_cell(row[name]) for name in table.column_names]
+                for row in new_rows]})
+        return Result(rowcount=len(new_rows))
 
     def _select(self, stmt: nodes.Select) -> Result:
         if stmt.table is None:
@@ -285,22 +346,35 @@ class Engine:
             if not table.has_column(column):
                 raise SQLError(
                     f"table {table.name} has no column {column!r}")
-        count = 0
-        for row in table.rows:
+        touched: List[int] = []
+        for index, row in enumerate(table.rows):
             if self._matches(stmt.where, row, table):
                 for column, expr in stmt.assignments:
                     row[column] = _stored_value(
                         self._evaluate(expr, row, table))
-                count += 1
-        return Result(rowcount=count)
+                touched.append(index)
+        if touched and self.durability is not None:
+            # Full row images, not expressions: replay is exact regardless
+            # of what the SET expressions computed from.
+            self._log_rows("sql.update", table, {"updates": [
+                [index, [self._encode_cell(table.rows[index][name])
+                         for name in table.column_names]]
+                for index in touched]})
+        return Result(rowcount=len(touched))
 
     def _delete(self, stmt: nodes.Delete) -> Result:
         table = self.table(stmt.table)
-        keep = [row for row in table.rows
-                if not self._matches(stmt.where, row, table)]
-        deleted = len(table.rows) - len(keep)
+        keep: List[Dict[str, Any]] = []
+        doomed: List[int] = []
+        for index, row in enumerate(table.rows):
+            if self._matches(stmt.where, row, table):
+                doomed.append(index)
+            else:
+                keep.append(row)
         table.rows = keep
-        return Result(rowcount=deleted)
+        if doomed and self.durability is not None:
+            self._log_rows("sql.delete", table, {"indices": doomed})
+        return Result(rowcount=len(doomed))
 
     # -- expression evaluation -----------------------------------------------------------
 

@@ -1,0 +1,339 @@
+"""Append-only, checksummed write-ahead log with group commit.
+
+The durable backend follows the TWIAD/write-optimized shape the ROADMAP
+names for ingest-heavy workloads: every mutation becomes one small record
+appended to the tail of a log segment, so the storage cost of a write is a
+sequential append — never a random update — and the random-access state
+lives only in memory, rebuilt on recovery from snapshot + log tail.
+
+Wire format — each record is length-prefixed and checksummed::
+
+    +----------------+----------------+----------------------+
+    | length (4B BE) | crc32 (4B BE)  | payload (JSON, UTF-8) |
+    +----------------+----------------+----------------------+
+
+A reader accepts a record only if the full frame is present *and* the CRC
+matches; anything else is a **torn tail** — the crash left a partial final
+record — and replay stops exactly there, yielding the committed prefix.
+:meth:`WriteAheadLog.open` truncates a torn tail before appending, so the
+log never contains garbage between valid records.
+
+Group commit (the one-fsync-absorbs-a-batch design): :meth:`append` only
+buffers the encoded frame under the log mutex and hands back an LSN;
+:meth:`commit` makes an LSN durable.  The first committer becomes the
+*leader* — it takes the whole buffered batch, writes it, and issues one
+``fsync`` — while concurrent committers wait as *followers* and return as
+soon as the leader's sync covers their LSN.  Under N concurrent writers one
+disk sync amortizes across all records buffered while the previous sync was
+in flight, which is what keeps durable throughput within a small factor of
+in-memory throughput (see ``benchmarks/bench_wal_commit.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..core.exceptions import SerializationError
+
+__all__ = ["WriteAheadLog", "encode_record", "decode_records",
+           "encode_value", "decode_value", "SEGMENT_PREFIX"]
+
+_HEADER = struct.Struct(">II")
+
+#: WAL segment files are ``seg-<id>.wal`` inside the log directory.
+SEGMENT_PREFIX = "seg-"
+_SEGMENT_SUFFIX = ".wal"
+
+#: Hard upper bound on one record's payload, so a corrupt length prefix can
+#: never make the reader allocate absurd buffers.
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+
+def encode_value(value: Any) -> Any:
+    """Encode one stored cell/file value to a JSON-able form.
+
+    Table cells and file contents are plain Python data by the time they
+    reach the log (policies travel separately, already serialized by
+    :mod:`repro.core.serialization` into policy columns and xattrs), so the
+    only non-JSON type to handle is ``bytes``.
+    """
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise SerializationError(
+        f"cannot log value of type {type(value).__name__}")
+
+
+def decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and "__bytes__" in value:
+        return bytes.fromhex(value["__bytes__"])
+    return value
+
+
+def encode_record(record: Dict[str, Any]) -> bytes:
+    """One framed record: header (length + crc32) and JSON payload."""
+    payload = json.dumps(record, separators=(",", ":"),
+                         sort_keys=True).encode("utf-8")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_records(data: bytes) -> Tuple[List[Dict[str, Any]], int]:
+    """Decode every complete, valid record from ``data``.
+
+    Returns ``(records, valid_length)`` where ``valid_length`` is the byte
+    offset of the first invalid/torn frame (== ``len(data)`` when the whole
+    buffer is clean).  Replay uses the records; :meth:`WriteAheadLog.open`
+    uses the offset to truncate the torn tail.
+    """
+    records: List[Dict[str, Any]] = []
+    offset = 0
+    total = len(data)
+    while offset + _HEADER.size <= total:
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        if length > MAX_RECORD_BYTES or start + length > total:
+            break
+        payload = data[start:start + length]
+        if zlib.crc32(payload) != crc:
+            break
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break
+        if not isinstance(record, dict):
+            break
+        records.append(record)
+        offset = start + length
+    return records, offset
+
+
+def _segment_name(segment_id: int) -> str:
+    return f"{SEGMENT_PREFIX}{segment_id:08d}{_SEGMENT_SUFFIX}"
+
+
+def _parse_segment_id(name: str) -> Optional[int]:
+    if not (name.startswith(SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)):
+        return None
+    middle = name[len(SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+    try:
+        return int(middle)
+    except ValueError:
+        return None
+
+
+class WriteAheadLog:
+    """A segmented append-only log on a real directory.
+
+    One segment file is open for append at a time; :meth:`rotate` seals it
+    and starts the next (the checkpoint boundary — see
+    :class:`~repro.storage.durability.Durability`), and
+    :meth:`retire_before` deletes segments a snapshot fully covers.
+
+    ``sync`` selects the durability barrier per flush: ``"fsync"`` (the
+    default — survives OS crash), ``"flush"`` (OS buffer only — survives
+    process crash; useful for tests and latency experiments) or ``"none"``.
+    ``group_commit=False`` disables the leader/follower batching so every
+    appended record pays its own sync — kept only so the benchmark can
+    measure what batching buys.
+    """
+
+    def __init__(self, directory: str, *, sync: str = "fsync",
+                 group_commit: bool = True):
+        if sync not in ("fsync", "flush", "none"):
+            raise ValueError(f"unknown sync mode {sync!r}")
+        self.directory = directory
+        self.sync = sync
+        self.group_commit = group_commit
+        os.makedirs(directory, exist_ok=True)
+
+        self._cond = threading.Condition()
+        self._next_lsn = 1
+        self._durable_lsn = 0
+        self._flushing = False
+        self._pending: List[bytes] = []
+        self._closed = False
+
+        #: Observability counters: ``syncs`` vs ``records`` is the
+        #: group-commit batching ratio the benchmark reports.
+        self.records = 0
+        self.syncs = 0
+        self.bytes_written = 0
+
+        existing = self.segment_ids()
+        self._segment_id = existing[-1] if existing else 1
+        self._file = self._open_segment(self._segment_id)
+
+    # -- segment management -------------------------------------------------
+
+    def segment_path(self, segment_id: int) -> str:
+        return os.path.join(self.directory, _segment_name(segment_id))
+
+    def segment_ids(self) -> List[int]:
+        ids = []
+        for name in os.listdir(self.directory):
+            segment_id = _parse_segment_id(name)
+            if segment_id is not None:
+                ids.append(segment_id)
+        return sorted(ids)
+
+    def _open_segment(self, segment_id: int):
+        """Open a segment for append, truncating any torn tail first."""
+        path = self.segment_path(segment_id)
+        if os.path.exists(path):
+            with open(path, "rb") as handle:
+                data = handle.read()
+            _, valid = decode_records(data)
+            if valid != len(data):
+                with open(path, "r+b") as handle:
+                    handle.truncate(valid)
+        return open(path, "ab")
+
+    def rotate(self) -> int:
+        """Seal the current segment and start the next; returns the new id.
+
+        Callers must quiesce appends first (the durability layer holds its
+        exclusive gate and drains :meth:`commit`): rotating with records
+        still buffered would write them into the wrong segment.
+        """
+        with self._cond:
+            if self._pending or self._flushing:
+                raise RuntimeError("rotate() with undrained records; "
+                                   "commit() first")
+            self._file.close()
+            self._segment_id += 1
+            self._file = self._open_segment(self._segment_id)
+            self._sync_directory()
+            return self._segment_id
+
+    def retire_before(self, segment_id: int) -> List[int]:
+        """Delete every sealed segment with id < ``segment_id`` (compaction:
+        a snapshot covering them has been durably written)."""
+        retired = []
+        for old in self.segment_ids():
+            if old < segment_id and old != self._segment_id:
+                os.unlink(self.segment_path(old))
+                retired.append(old)
+        if retired:
+            self._sync_directory()
+        return retired
+
+    def _sync_directory(self) -> None:
+        if self.sync != "fsync":
+            return
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # -- append / commit ----------------------------------------------------
+
+    def append(self, record: Dict[str, Any]) -> int:
+        """Buffer one record; returns its LSN (not yet durable)."""
+        frame = encode_record(record)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("append() on a closed WAL")
+            lsn = self._next_lsn
+            self._next_lsn += 1
+            self.records += 1
+            if self.group_commit:
+                self._pending.append(frame)
+            else:
+                # Batching disabled: pay the write+sync per record, under
+                # the mutex (benchmark reference mode).
+                self._write_frames([frame])
+                self._durable_lsn = lsn
+        return lsn
+
+    def log(self, record: Dict[str, Any]) -> int:
+        """Append and make durable in one call."""
+        lsn = self.append(record)
+        self.commit(lsn)
+        return lsn
+
+    def commit(self, lsn: Optional[int] = None) -> None:
+        """Block until every record up to ``lsn`` (default: all appended so
+        far) is durable.  Leader/follower group commit: see module docstring.
+        """
+        with self._cond:
+            if lsn is None:
+                lsn = self._next_lsn - 1
+            while self._durable_lsn < lsn:
+                if self._flushing:
+                    self._cond.wait()
+                    continue
+                self._flushing = True
+                batch = self._pending
+                self._pending = []
+                upto = self._next_lsn - 1
+                break
+            else:
+                return
+        try:
+            self._write_frames(batch)
+        finally:
+            with self._cond:
+                self._flushing = False
+                self._durable_lsn = max(self._durable_lsn, upto)
+                self._cond.notify_all()
+
+    def _write_frames(self, frames: List[bytes]) -> None:
+        if frames:
+            data = b"".join(frames)
+            self._file.write(data)
+            self.bytes_written += len(data)
+        if self.sync != "none":
+            self._file.flush()
+            if self.sync == "fsync":
+                os.fsync(self._file.fileno())
+        self.syncs += 1
+
+    @property
+    def size(self) -> int:
+        """Bytes written to the current segment (durable + buffered)."""
+        with self._cond:
+            return (self._file.tell()
+                    + sum(len(frame) for frame in self._pending))
+
+    # -- replay -------------------------------------------------------------
+
+    def replay(self, start_segment: int = 0) -> Iterator[Dict[str, Any]]:
+        """Yield every valid record from segments >= ``start_segment`` in
+        order, stopping at the first torn/corrupt frame (prefix semantics)."""
+        for segment_id in self.segment_ids():
+            if segment_id < start_segment:
+                continue
+            with open(self.segment_path(segment_id), "rb") as handle:
+                data = handle.read()
+            records, valid = decode_records(data)
+            yield from records
+            if valid != len(data):
+                return
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._cond:
+            if self._closed:
+                return
+        self.commit()
+        with self._cond:
+            self._closed = True
+            self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

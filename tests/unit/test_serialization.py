@@ -2,13 +2,14 @@
 
 import pytest
 
-from repro.core.exceptions import SerializationError
+from repro.core.exceptions import PolicyViolation, SerializationError
 from repro.core.policy import Policy
 from repro.core.policyset import PolicySet
-from repro.core.serialization import (deserialize_policy, dumps_policyset,
-                                      dumps_rangemap, find_policy_class,
-                                      loads_policyset, loads_rangemap,
-                                      register_policy_class, serialize_policy)
+from repro.core.serialization import (UnknownPolicy, deserialize_policy,
+                                      dumps_policyset, dumps_rangemap,
+                                      find_policy_class, loads_policyset,
+                                      loads_rangemap, register_policy_class,
+                                      serialize_policy)
 from repro.policies import (ACL, CodeApproval, PagePolicy, PasswordPolicy,
                             ReadAccessPolicy, UntrustedData)
 from repro.tracking.ranges import RangeMap
@@ -117,3 +118,71 @@ class TestPolicySetAndRangeMap:
     def test_dumps_is_deterministic(self):
         pset = PolicySet.of(UntrustedData("a"), UntrustedData("b"))
         assert dumps_policyset(pset) == dumps_policyset(pset)
+
+
+class TestMixedTypeSetFields:
+    """Regression: set members of different types used to break the
+    encoder's determinism sort with a ``TypeError`` (``int`` vs ``str``);
+    the stable key sorts the already-encoded members instead."""
+
+    class Mixed(Policy):
+        def __init__(self, members):
+            self.members = members
+
+    def test_mixed_type_set_roundtrips(self):
+        policy = self.Mixed({1, "one", 2.5, None, True})
+        restored = deserialize_policy(serialize_policy(policy))
+        assert restored.members == {1, "one", 2.5, None, True}
+
+    def test_mixed_type_set_is_deterministic(self):
+        members = frozenset([3, "b", "a", 1])
+        serialized = [serialize_policy(self.Mixed(set(members)))
+                      for _ in range(5)]
+        assert all(s == serialized[0] for s in serialized)
+
+    def test_nested_mixed_structures(self):
+        policy = self.Mixed({("pair", 1), ("pair", 2), "flat"})
+        restored = deserialize_policy(serialize_policy(policy))
+        assert restored.members == {("pair", 1), ("pair", 2), "flat"}
+
+
+class TestTolerantDeserialization:
+    """Unknown policy classes load as deny-by-default placeholders when
+    ``tolerant=True`` (the storage engine's recovery mode) and still raise
+    by default."""
+
+    RECORD = {"class": "vendor.future.ShinyPolicy",
+              "fields": {"level": 3}}
+
+    def test_strict_mode_still_raises(self):
+        with pytest.raises(SerializationError):
+            deserialize_policy(dict(self.RECORD))
+
+    def test_tolerant_mode_yields_placeholder(self):
+        policy = deserialize_policy(dict(self.RECORD), tolerant=True)
+        assert isinstance(policy, UnknownPolicy)
+        assert policy.class_name == "vendor.future.ShinyPolicy"
+
+    def test_placeholder_denies_export(self):
+        policy = deserialize_policy(dict(self.RECORD), tolerant=True)
+        with pytest.raises(PolicyViolation):
+            policy.export_check({"type": "http"})
+
+    def test_placeholder_roundtrips_verbatim(self):
+        policy = deserialize_policy(dict(self.RECORD), tolerant=True)
+        assert serialize_policy(policy) == self.RECORD
+        again = deserialize_policy(serialize_policy(policy), tolerant=True)
+        assert again == policy
+
+    def test_tolerant_policyset_and_rangemap(self):
+        text = dumps_policyset(PolicySet.of(UntrustedData("x")))
+        alien = text.replace("UntrustedData", "EvaporatedPolicy")
+        with pytest.raises(SerializationError):
+            loads_policyset(alien)
+        pset = loads_policyset(alien, tolerant=True)
+        assert any(isinstance(p, UnknownPolicy) for p in pset)
+        rangemap = taint_str("xy", UntrustedData()).rangemap
+        blob = dumps_rangemap(rangemap).replace("UntrustedData", "GonePolicy")
+        restored = loads_rangemap(blob, tolerant=True)
+        assert any(isinstance(p, UnknownPolicy)
+                   for p in restored.all_policies())
