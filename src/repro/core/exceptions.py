@@ -69,6 +69,12 @@ class SerializationError(ResinError):
     """A persistent policy could not be serialized or de-serialized."""
 
 
+class RecoveryError(ResinError):
+    """Durable storage recovery cannot proceed safely (e.g. every snapshot
+    on disk is corrupt): starting from an empty store would silently lose
+    data, so recovery fails loudly instead."""
+
+
 class SQLError(ResinError):
     """The SQL substrate rejected a query (syntax or execution error)."""
 

@@ -146,14 +146,23 @@ class Durability:
 
     def close(self) -> None:
         """Flush everything and release the store (no final checkpoint —
-        recovery replays the tail on the next open)."""
-        self.wal.close()
-        if self.engine is not None and self.engine.durability is self:
-            self.engine.durability = None
-        if self.fs is not None and self.fs.durability is self:
-            self.fs.durability = None
-        if self.env is not None and self.env.services.get(SERVICE_NAME) is self:
-            self.env.services.unregister(SERVICE_NAME)
+        recovery replays the tail on the next open).
+
+        Takes the exclusive gate so every in-flight mutate-and-log pair
+        drains first, and detaches the engine/fs durability pointers
+        *before* closing the WAL: a mutation racing with shutdown either
+        fully logs (and the close's final flush makes it durable) or sees
+        no sink at all — it can never apply its in-memory effect and then
+        blow up on ``append() on a closed WAL`` with the record unlogged.
+        """
+        with self.gate.exclusive():
+            if self.engine is not None and self.engine.durability is self:
+                self.engine.durability = None
+            if self.fs is not None and self.fs.durability is self:
+                self.fs.durability = None
+            if self.env is not None and self.env.services.get(SERVICE_NAME) is self:
+                self.env.services.unregister(SERVICE_NAME)
+            self.wal.close()
 
     def __enter__(self) -> "Durability":
         return self

@@ -27,7 +27,7 @@ import os
 from typing import Any, Dict, List, Mapping, Optional
 
 from ..core.context import as_context
-from ..core.exceptions import PolicyViolation, SerializationError
+from ..core.exceptions import PolicyViolation, RecoveryError, SerializationError
 from ..core.filter import Filter
 from ..core.serialization import decode_field, encode_field, qualified_name
 from ..fs import path as fspath
@@ -302,7 +302,9 @@ def write_snapshot(directory: str, doc: Dict[str, Any], *, sync: bool = True) ->
     snapshot, and a half-written temp file is simply ignored by the loader."""
     path = os.path.join(directory, _snapshot_name(doc["wal_start"]))
     tmp = path + ".tmp"
-    frame = encode_record(doc)
+    # A snapshot is one trusted frame with no size cap (a whole store can
+    # exceed the WAL's per-record limit); the loader reads it uncapped too.
+    frame = encode_record(doc, max_bytes=None)
     with open(tmp, "wb") as handle:
         handle.write(frame)
         if sync:
@@ -321,7 +323,7 @@ def load_snapshot(directory: str, wal_start: int) -> Optional[Dict[str, Any]]:
             data = handle.read()
     except OSError:
         return None
-    records, valid = decode_records(data)
+    records, valid = decode_records(data, max_record_bytes=None)
     if len(records) != 1 or valid != len(data):
         return None
     doc = records[0]
@@ -331,15 +333,29 @@ def load_snapshot(directory: str, wal_start: int) -> Optional[Dict[str, Any]]:
 
 
 def load_latest_snapshot(directory: str) -> Optional[Dict[str, Any]]:
-    """The newest snapshot that validates (CRC + structure), or ``None``.
+    """The newest snapshot that validates (CRC + structure), or ``None``
+    when no snapshot file exists (a fresh store).
 
-    Scans newest-first so one corrupt/torn snapshot silently falls back to
-    the previous one — the WAL segments it would have retired are still on
-    disk, so recovery stays exact."""
-    for wal_start in reversed(snapshot_ids(directory)):
+    Scans newest-first so a corrupt newest snapshot falls back to an older
+    valid one — the WAL segments it would have retired are still on disk,
+    so recovery stays exact.  But when snapshot files *exist* and none
+    validates (corruption/bitrot), there is no state to fall back to —
+    compaction already deleted the WAL prefix they covered — so this raises
+    :class:`~repro.core.exceptions.RecoveryError` rather than letting
+    recovery silently present an empty store as success."""
+    ids = snapshot_ids(directory)
+    for wal_start in reversed(ids):
         doc = load_snapshot(directory, wal_start)
         if doc is not None:
             return doc
+    if ids:
+        names = ", ".join(_snapshot_name(wal_start) for wal_start in ids)
+        raise RecoveryError(
+            f"snapshot file(s) {names} in {directory!r} exist but none "
+            "validates; recovering from an empty store would silently lose "
+            "data — restore the snapshot from backup, or delete the store "
+            "directory to start empty deliberately"
+        )
     return None
 
 

@@ -49,9 +49,16 @@ _HEADER = struct.Struct(">II")
 SEGMENT_PREFIX = "seg-"
 _SEGMENT_SUFFIX = ".wal"
 
-#: Hard upper bound on one record's payload, so a corrupt length prefix can
-#: never make the reader allocate absurd buffers.
+#: Hard upper bound on one record's payload.  Enforced symmetrically: the
+#: *writer* refuses to encode a larger record (:func:`encode_record` raises,
+#: so an oversized mutation fails loudly at log time instead of being
+#: acknowledged durable), and the *reader* treats a larger length prefix as
+#: corruption.  Snapshot frames are exempt (``max_bytes=None``): they are
+#: single trusted frames whose length is already bounded by the file size.
 MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+#: Sentinel meaning "use the module's MAX_RECORD_BYTES at call time".
+_DEFAULT_LIMIT = object()
 
 
 def encode_value(value: Any) -> Any:
@@ -76,28 +83,47 @@ def decode_value(value: Any) -> Any:
     return value
 
 
-def encode_record(record: Dict[str, Any]) -> bytes:
-    """One framed record: header (length + crc32) and JSON payload."""
+def encode_record(record: Dict[str, Any], *, max_bytes=_DEFAULT_LIMIT) -> bytes:
+    """One framed record: header (length + crc32) and JSON payload.
+
+    Raises :class:`~repro.core.exceptions.SerializationError` when the
+    payload exceeds ``max_bytes`` (default: :data:`MAX_RECORD_BYTES`): a
+    frame over the limit would be *written* fine but rejected as a corrupt
+    length prefix on replay, silently dropping it and every later record —
+    so the writer must fail loudly instead.  ``max_bytes=None`` disables the
+    check (snapshot frames, which get no reader-side limit either).
+    """
     payload = json.dumps(record, separators=(",", ":"),
                          sort_keys=True).encode("utf-8")
+    limit = MAX_RECORD_BYTES if max_bytes is _DEFAULT_LIMIT else max_bytes
+    if limit is not None and len(payload) > limit:
+        raise SerializationError(
+            f"record payload is {len(payload)} bytes, over the {limit}-byte "
+            "frame limit; refusing to write a record replay would reject as "
+            "corrupt")
     return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
 
-def decode_records(data: bytes) -> Tuple[List[Dict[str, Any]], int]:
+def decode_records(data: bytes, *,
+                   max_record_bytes=_DEFAULT_LIMIT
+                   ) -> Tuple[List[Dict[str, Any]], int]:
     """Decode every complete, valid record from ``data``.
 
     Returns ``(records, valid_length)`` where ``valid_length`` is the byte
     offset of the first invalid/torn frame (== ``len(data)`` when the whole
     buffer is clean).  Replay uses the records; :meth:`WriteAheadLog.open`
-    uses the offset to truncate the torn tail.
+    uses the offset to truncate the torn tail.  ``max_record_bytes`` must
+    match what the writer enforced (``None`` for snapshot frames).
     """
+    limit = (MAX_RECORD_BYTES if max_record_bytes is _DEFAULT_LIMIT
+             else max_record_bytes)
     records: List[Dict[str, Any]] = []
     offset = 0
     total = len(data)
     while offset + _HEADER.size <= total:
         length, crc = _HEADER.unpack_from(data, offset)
         start = offset + _HEADER.size
-        if length > MAX_RECORD_BYTES or start + length > total:
+        if (limit is not None and length > limit) or start + length > total:
             break
         payload = data[start:start + length]
         if zlib.crc32(payload) != crc:
@@ -158,6 +184,10 @@ class WriteAheadLog:
         self._flushing = False
         self._pending: List[bytes] = []
         self._closed = False
+        #: First write/sync failure, if any.  A failed flush poisons the
+        #: log: the batch may be partially on disk with no sync barrier, so
+        #: no later LSN can ever be acknowledged durable again.
+        self._failure: Optional[BaseException] = None
 
         #: Observability counters: ``syncs`` vs ``records`` is the
         #: group-commit batching ratio the benchmark reports.
@@ -202,6 +232,7 @@ class WriteAheadLog:
         still buffered would write them into the wrong segment.
         """
         with self._cond:
+            self._check_poisoned()
             if self._pending or self._flushing:
                 raise RuntimeError("rotate() with undrained records; "
                                    "commit() first")
@@ -243,6 +274,7 @@ class WriteAheadLog:
         with self._cond:
             if self._closed:
                 raise RuntimeError("append() on a closed WAL")
+            self._check_poisoned()
             lsn = self._next_lsn
             self._next_lsn += 1
             self.records += 1
@@ -251,7 +283,11 @@ class WriteAheadLog:
             else:
                 # Batching disabled: pay the write+sync per record, under
                 # the mutex (benchmark reference mode).
-                self._write_frames([frame])
+                try:
+                    self._write_frames([frame])
+                except BaseException as exc:
+                    self._failure = exc
+                    raise
                 self._durable_lsn = lsn
         return lsn
 
@@ -264,28 +300,47 @@ class WriteAheadLog:
     def commit(self, lsn: Optional[int] = None) -> None:
         """Block until every record up to ``lsn`` (default: all appended so
         far) is durable.  Leader/follower group commit: see module docstring.
+
+        Raises if the flush covering ``lsn`` failed — whether this thread
+        led it or a leader failed while this thread waited as a follower.
+        The durable LSN only ever advances on a *successful* sync, and a
+        failure poisons the log (the batch was consumed and may sit
+        partially on disk unsynced), so no thread can observe a durability
+        acknowledgment for records that never reached the disk.
         """
         with self._cond:
             if lsn is None:
                 lsn = self._next_lsn - 1
-            while self._durable_lsn < lsn:
-                if self._flushing:
-                    self._cond.wait()
-                    continue
-                self._flushing = True
-                batch = self._pending
-                self._pending = []
-                upto = self._next_lsn - 1
-                break
-            else:
-                return
+            while True:
+                if self._durable_lsn >= lsn:
+                    return
+                self._check_poisoned()
+                if not self._flushing:
+                    break
+                self._cond.wait()
+            self._flushing = True
+            batch = self._pending
+            self._pending = []
+            upto = self._next_lsn - 1
         try:
             self._write_frames(batch)
-        finally:
+        except BaseException as exc:
             with self._cond:
                 self._flushing = False
-                self._durable_lsn = max(self._durable_lsn, upto)
+                self._failure = exc
                 self._cond.notify_all()
+            raise
+        with self._cond:
+            self._flushing = False
+            self._durable_lsn = max(self._durable_lsn, upto)
+            self._cond.notify_all()
+
+    def _check_poisoned(self) -> None:
+        """Raise (under the mutex) if an earlier flush failed."""
+        if self._failure is not None:
+            raise RuntimeError(
+                "WAL write failed earlier; records past LSN "
+                f"{self._durable_lsn} are not durable") from self._failure
 
     def _write_frames(self, frames: List[bytes]) -> None:
         if frames:
@@ -323,13 +378,17 @@ class WriteAheadLog:
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
+        """Flush and close.  Re-raises a pending/previous flush failure
+        (after closing the file) — losing buffered records must be loud."""
         with self._cond:
             if self._closed:
                 return
-        self.commit()
-        with self._cond:
-            self._closed = True
-            self._file.close()
+        try:
+            self.commit()
+        finally:
+            with self._cond:
+                self._closed = True
+                self._file.close()
 
     def __enter__(self) -> "WriteAheadLog":
         return self

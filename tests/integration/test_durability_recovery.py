@@ -24,6 +24,7 @@ import pytest
 from repro.core.exceptions import (
     AccessDenied,
     PolicyViolation,
+    RecoveryError,
     SerializationError,
 )
 from repro.core.serialization import UnknownPolicy
@@ -548,6 +549,127 @@ class TestTolerantRecovery:
         assert isinstance(restored, UnknownFilter)
         assert restored.record == record
         again.durability.close()
+
+
+class TestSnapshotIntegrity:
+    def test_all_snapshots_corrupt_fails_loudly(self, tmp_path):
+        # Compaction keeps exactly one snapshot and deletes the WAL prefix
+        # it covers — if that snapshot rots, there is no state to fall back
+        # to, and recovery must refuse to present an empty store as success.
+        store = str(tmp_path / "store")
+        resin = Resin.open(store)
+        resin.db.query("CREATE TABLE t (n INT)")
+        resin.db.query("INSERT INTO t (n) VALUES (1)")
+        resin.durability.checkpoint()
+        resin.durability.close()
+        snap = next(n for n in os.listdir(store) if n.endswith(".snap"))
+        with open(os.path.join(store, snap), "r+b") as handle:
+            handle.seek(12)
+            byte = handle.read(1)[0]
+            handle.seek(12)
+            handle.write(bytes([byte ^ 0xFF]))
+        with pytest.raises(RecoveryError):
+            Resin.open(store)
+
+    def test_corrupt_newest_falls_back_to_valid_older(self, tmp_path):
+        from repro.storage.snapshot import (
+            load_latest_snapshot,
+            write_snapshot,
+        )
+        directory = str(tmp_path / "snaps")
+        os.makedirs(directory)
+        older = {"version": 1, "wal_start": 2, "tables": [], "fs": []}
+        newer = {"version": 1, "wal_start": 5, "tables": [], "fs": []}
+        write_snapshot(directory, older, sync=False)
+        path = write_snapshot(directory, newer, sync=False)
+        with open(path, "r+b") as handle:
+            handle.seek(10)
+            handle.write(b"\xff")
+        # The WAL segments the newer snapshot would have retired still
+        # exist, so falling back to the older one keeps recovery exact.
+        assert load_latest_snapshot(directory) == older
+
+    def test_no_snapshots_means_fresh_store(self, tmp_path):
+        from repro.storage.snapshot import load_latest_snapshot
+        assert load_latest_snapshot(str(tmp_path)) is None
+
+    def test_snapshot_may_exceed_wal_record_limit(self, tmp_path,
+                                                  monkeypatch):
+        # Snapshot frames are uncapped: a store whose full image is larger
+        # than one WAL record must survive a checkpoint + reopen cycle
+        # (each mutation stays under the cap; their sum does not).
+        monkeypatch.setattr("repro.storage.wal.MAX_RECORD_BYTES", 2048)
+        store = str(tmp_path / "store")
+        resin = Resin.open(store)
+        resin.db.query("CREATE TABLE t (k TEXT)")
+        for i in range(40):
+            resin.db.query(f"INSERT INTO t (k) VALUES ('{'v' * 60}-{i}')")
+        before = fingerprint(resin)
+        resin.durability.checkpoint()
+        resin.durability.close()
+        snap = next(n for n in os.listdir(store) if n.endswith(".snap"))
+        assert os.path.getsize(os.path.join(store, snap)) > 2048
+        assert reopen_fingerprint(store) == before
+
+    def test_oversized_mutation_fails_loudly(self, tmp_path, monkeypatch):
+        # A single record over the WAL frame cap must raise at write time —
+        # never be acknowledged durable and then dropped as a torn tail on
+        # replay.
+        monkeypatch.setattr("repro.storage.wal.MAX_RECORD_BYTES", 4096)
+        store = str(tmp_path / "store")
+        resin = Resin.open(store)
+        with pytest.raises(SerializationError):
+            resin.fs.write_text("/big.txt", "x" * 8192)
+        resin.fs.write_text("/small.txt", "ok")
+        resin.durability.close()
+        resin2 = Resin.open(store)
+        assert str(resin2.fs.read_text("/small.txt")) == "ok"
+        assert not resin2.fs.exists("/big.txt")
+        resin2.durability.close()
+
+
+class TestShutdown:
+    def test_close_drains_inflight_mutations(self, tmp_path):
+        store = str(tmp_path / "store")
+        resin = Resin.open(store)
+        resin.db.query("CREATE TABLE t (n INT)")
+        durability = resin.durability
+        in_mutation = threading.Event()
+        release = threading.Event()
+        closed = threading.Event()
+
+        def mutator():
+            with durability.mutation():
+                in_mutation.set()
+                release.wait(5)
+
+        def closer():
+            durability.close()
+            closed.set()
+
+        t1 = threading.Thread(target=mutator)
+        t1.start()
+        assert in_mutation.wait(5)
+        t2 = threading.Thread(target=closer)
+        t2.start()
+        # close() must wait for the in-flight mutate-and-log pair …
+        assert not closed.wait(0.2)
+        release.set()
+        assert closed.wait(5)
+        t1.join(5)
+        t2.join(5)
+        # … and detach the sinks before closing the WAL, so later mutations
+        # are simply non-durable instead of dying on a closed WAL.
+        assert resin.db.engine.durability is None
+        assert resin.fs.durability is None
+        resin.db.query("INSERT INTO t (n) VALUES (1)")
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = str(tmp_path / "store")
+        resin = Resin.open(store)
+        durability = resin.durability
+        durability.close()
+        durability.close()
 
 
 class TestConcurrentDurability:

@@ -7,9 +7,11 @@ shared/exclusive gate the durability service builds checkpoints on.
 
 import os
 import threading
+import time
 
 import pytest
 
+from repro.core.exceptions import SerializationError
 from repro.core.locking import SharedExclusiveGate
 from repro.storage.wal import (
     WriteAheadLog,
@@ -64,6 +66,50 @@ class TestFrameCodec:
         assert decode_value(encode_value(b"\x00\xff")) == b"\x00\xff"
         assert encode_value("plain") == "plain"
         assert encode_value(None) is None
+
+
+class TestRecordSizeLimit:
+    """The frame limit must be symmetric: anything the writer accepts, the
+    reader accepts — an encode-side cap prevents acknowledged-durable
+    records that replay would silently drop as corrupt length prefixes."""
+
+    def test_encode_over_limit_raises(self):
+        with pytest.raises(SerializationError):
+            encode_record({"op": "big", "data": "x" * 100}, max_bytes=50)
+
+    def test_boundary_record_roundtrips(self):
+        record = {"op": "edge", "data": "x" * 40}
+        limit = len(encode_record(record, max_bytes=None)) - 8
+        frame = encode_record(record, max_bytes=limit)
+        decoded, valid = decode_records(frame, max_record_bytes=limit)
+        assert decoded == [record]
+        assert valid == len(frame)
+
+    def test_uncapped_mode_for_snapshot_frames(self, monkeypatch):
+        monkeypatch.setattr("repro.storage.wal.MAX_RECORD_BYTES", 64)
+        doc = {"op": "snapshot", "data": "x" * 500}
+        frame = encode_record(doc, max_bytes=None)
+        decoded, valid = decode_records(frame, max_record_bytes=None)
+        assert decoded == [doc]
+        assert valid == len(frame)
+        # The default (WAL) path enforces the cap on both sides.
+        with pytest.raises(SerializationError):
+            encode_record(doc)
+        assert decode_records(frame) == ([], 0)
+
+    def test_append_rejects_oversized_record(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.storage.wal.MAX_RECORD_BYTES", 64)
+        wal = WriteAheadLog(str(tmp_path))
+        wal.log({"op": "small"})
+        with pytest.raises(SerializationError):
+            wal.append({"op": "big", "data": "x" * 200})
+        # The oversized record was rejected before buffering: the log stays
+        # healthy and every accepted record replays.
+        wal.log({"op": "small2"})
+        wal.close()
+        wal2 = WriteAheadLog(str(tmp_path))
+        assert list(wal2.replay()) == [{"op": "small"}, {"op": "small2"}]
+        wal2.close()
 
 
 class TestWriteAheadLog:
@@ -180,6 +226,69 @@ class TestWriteAheadLog:
     def test_unknown_sync_mode_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             WriteAheadLog(str(tmp_path), sync="maybe")
+
+    def test_write_failure_poisons_log(self, tmp_path, monkeypatch):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.log({"op": "good"})
+        lsn = wal.append({"op": "doomed"})
+
+        def boom(fd):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(os, "fsync", boom)
+        with pytest.raises(OSError):
+            wal.commit(lsn)
+        monkeypatch.undo()
+        # The failed batch was consumed without a sync barrier, so no later
+        # commit may ever acknowledge it (or anything after it) as durable.
+        with pytest.raises(RuntimeError):
+            wal.commit(lsn)
+        with pytest.raises(RuntimeError):
+            wal.append({"op": "after"})
+        with pytest.raises(RuntimeError):
+            wal.rotate()
+        # Records synced *before* the failure stay acknowledged.
+        wal.commit(1)
+        with pytest.raises(RuntimeError):
+            wal.close()
+
+    def test_follower_sees_leader_write_failure(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        in_write = threading.Event()
+        release = threading.Event()
+
+        def failing_write(frames):
+            in_write.set()
+            release.wait(5)
+            raise OSError("disk gone")
+
+        wal._write_frames = failing_write
+        lsn1 = wal.append({"op": "a"})
+        results = {}
+
+        def committer(name, lsn):
+            try:
+                wal.commit(lsn)
+                results[name] = None
+            except Exception as exc:
+                results[name] = exc
+
+        leader = threading.Thread(target=committer, args=("leader", lsn1))
+        leader.start()
+        assert in_write.wait(5)
+        lsn2 = wal.append({"op": "b"})
+        follower = threading.Thread(target=committer, args=("follower", lsn2))
+        follower.start()
+        time.sleep(0.05)  # let the follower reach its wait
+        release.set()
+        leader.join(5)
+        follower.join(5)
+        # The leader surfaces the I/O error; the follower must NOT return
+        # success for a record that never reached the disk.
+        assert isinstance(results["leader"], OSError)
+        assert isinstance(results["follower"], RuntimeError)
+        with pytest.raises(RuntimeError):
+            wal.close()
 
     def test_size_tracks_written_and_pending(self, tmp_path):
         wal = WriteAheadLog(str(tmp_path))
