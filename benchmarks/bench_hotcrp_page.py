@@ -16,7 +16,8 @@ def workloads():
     return hotcrp_perf.build_workloads()
 
 
-@pytest.mark.parametrize("configuration", ["unmodified", "resin"])
+@pytest.mark.parametrize("configuration",
+                         ["unmodified", "resin", "resin-enforce"])
 def test_hotcrp_page_generation(benchmark, workloads, configuration):
     workload = workloads[configuration]
     benchmark.group = "hotcrp-paper-page"

@@ -77,6 +77,14 @@ class PaperPolicy(Policy):
             context=context,
         )
 
+    def scan_predicate(self, context):
+        # Pure principal ACL: decidable once per query plan (enforce mode).
+        try:
+            self.export_check(context)
+        except PolicyViolation:
+            return False
+        return True
+
 
 class AuthorListPolicy(Policy):
     """The author list of an anonymous submission may not flow to PC members
@@ -106,6 +114,14 @@ class AuthorListPolicy(Policy):
             context=context,
         )
 
+    def scan_predicate(self, context):
+        # Pure principal ACL: decidable once per query plan (enforce mode).
+        try:
+            self.export_check(context)
+        except PolicyViolation:
+            return False
+        return True
+
 
 class ReviewPolicy(Policy):
     """Reviews may be read only by PC members (and by authors once reviews
@@ -131,6 +147,14 @@ class ReviewPolicy(Policy):
             policy=self,
             context=context,
         )
+
+    def scan_predicate(self, context):
+        # Pure principal ACL: decidable once per query plan (enforce mode).
+        try:
+            self.export_check(context)
+        except PolicyViolation:
+            return False
+        return True
 
 
 class HotCRP:
@@ -197,6 +221,12 @@ class HotCRP:
             "CREATE TABLE IF NOT EXISTS reviews "
             "(paper_id INTEGER, reviewer TEXT, body TEXT, released INTEGER)"
         )
+        # Secondary indexes on the hot lookup columns (login by email,
+        # paper page by id, reviews by paper).  Planner candidates only:
+        # the executor re-applies every WHERE, so verdicts never change.
+        db.create_index("users", "email")
+        db.create_index("papers", "id")
+        db.create_index("reviews", "paper_id")
 
     # -- account management ---------------------------------------------------------------
 

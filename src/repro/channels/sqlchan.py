@@ -18,22 +18,67 @@ application-supplied SQL-injection filter interposes (Section 5.3).
 from __future__ import annotations
 import contextlib
 import json
-from typing import Any, List, Optional
+import warnings
+from typing import Any, Callable, Dict, FrozenSet, List, Optional
 from ..core.context import FilterContext
+from ..core.exceptions import SQLError
 from ..core.filter import Filter, FilterChain
 from ..core.registry import resolve_registry
 from ..core.request_context import current_request
-from ..core.serialization import (deserialize_policyset, deserialize_rangemap,
-                                  serialize_policyset, serialize_rangemap)
+from ..core.serialization import (deserialize_policy, deserialize_policyset,
+                                  deserialize_rangemap, serialize_policyset,
+                                  serialize_rangemap)
 from ..sql import nodes
 from ..sql.engine import Engine, Result, Row
 from ..sql.parser import parse
+from ..sql.planner import bind_parameters, collect_params
+from ..sql.tokenizer import PARAM, tokenize
 from ..tracking.propagation import policies_of
 from ..tracking.tainted_number import TaintedFloat, TaintedInt
 from ..tracking.tainted_str import TaintedStr
 
 #: Prefix of the hidden policy columns.
 POLICY_COLUMN_PREFIX = "__policy_"
+
+#: Valid policy enforcement modes: ``observe`` re-attaches policies to every
+#: result cell and pays the export check per value (the paper's behaviour);
+#: ``enforce`` additionally asks each policy for a plan-level verdict once
+#: per distinct stored policy blob and skips attachment when the requesting
+#: principal clears every policy — falling back to per-value checks whenever
+#: a policy cannot decide ahead of export.
+POLICY_MODES = ("observe", "enforce")
+
+_DEFAULT_POLICY_MODE = "observe"
+
+
+def get_default_policy_mode() -> str:
+    """The mode newly-constructed :class:`Database` handles start in."""
+    return _DEFAULT_POLICY_MODE
+
+
+@contextlib.contextmanager
+def default_policy_mode(mode: str):
+    """Run a block with a different default mode for new ``Database``
+    handles (used by the evaluation harnesses, whose scenarios build their
+    own environments internally).  A plain process-wide default, not a
+    context variable: the concurrent harnesses run one mode per pass and
+    restore it around the whole run."""
+    if mode not in POLICY_MODES:
+        raise ValueError(f"unknown policy mode {mode!r} (use {POLICY_MODES})")
+    global _DEFAULT_POLICY_MODE
+    previous = _DEFAULT_POLICY_MODE
+    _DEFAULT_POLICY_MODE = mode
+    try:
+        yield
+    finally:
+        _DEFAULT_POLICY_MODE = previous
+
+
+#: Bound on the per-database deserialized-blob cache (cleared, not evicted,
+#: when full: the blob population is small and repetitive in practice).
+_BLOB_CACHE_LIMIT = 1024
+
+_CACHE_MISS = object()
 
 
 def policy_column(column: str) -> str:
@@ -124,6 +169,24 @@ class Database:
         #: classes in stored policy columns load as deny-by-default
         #: ``UnknownPolicy`` placeholders instead of failing the read.
         self.tolerant_policies = False
+        #: ``observe`` or ``enforce`` — see :data:`POLICY_MODES`.
+        self.policy_mode = _DEFAULT_POLICY_MODE
+        # Deserialized-policy cache for enforce-mode clearance, keyed by the
+        # stored blob string (deserialization is deterministic, so entries
+        # never go stale).  Verdicts are NOT cached here — they depend on
+        # the requesting context and are memoized per execution instead.
+        self._blob_cache: Dict[str, Optional[List]] = {}
+
+    def set_policy_mode(self, mode: str) -> None:
+        """Switch this handle between ``observe`` and ``enforce``.
+
+        Both modes produce identical export verdicts; ``enforce`` pays
+        decidable policy checks once per query plan instead of once per
+        result cell (see ``docs/API.md``)."""
+        if mode not in POLICY_MODES:
+            raise ValueError(
+                f"unknown policy mode {mode!r} (use {POLICY_MODES})")
+        self.policy_mode = mode
 
     # -- filter management ---------------------------------------------------------
 
@@ -170,21 +233,47 @@ class Database:
 
     # -- query API -----------------------------------------------------------------------
 
-    def query(self, sql) -> Result:
-        """Issue one SQL statement.
+    def query(self, sql, params: Optional[Dict[str, Any]] = None
+              ) -> "PreparedQuery":
+        """Prepare and (when fully bound) execute one SQL statement.
 
-        The raw query text is passed through the channel's filter chain (the
-        base filters, then the current request's overlay filters) as a
-        guarded function call before it is parsed and executed, so stacked
+        Returns a :class:`PreparedQuery`.  A statement without unbound
+        ``:name`` parameters executes immediately — the handle then behaves
+        exactly like the :class:`~repro.sql.engine.Result` it wraps (rows,
+        columns, ``scalar()``, iteration) — and additionally offers
+        ``.explain()`` and ``.run(**params)`` for re-execution.  A statement
+        with unbound parameters defers execution until ``.run()``.
+
+        Every execution passes the *raw* query text through the channel's
+        filter chain (the base filters, then the current request's overlay
+        filters) as a guarded function call before parsing, so stacked
         filters see exactly what the application sent (including the
-        character-level policies of any interpolated user input).
+        character-level policies of any interpolated user input);
+        parameters are bound after the chain, into the parsed statement.
         """
-        return self._effective_chain().filter_func(self._execute, (sql,), {})
+        return PreparedQuery(self, sql, params)
+
+    def execute(self, sql) -> "PreparedQuery":
+        """Deprecated alias for :meth:`query` (the pre-plan-API entry
+        point).  Use ``db.query(sql)`` instead."""
+        warnings.warn(
+            "Database.execute() is deprecated; use Database.query(), which "
+            "returns a prepared, re-runnable plan handle",
+            DeprecationWarning, stacklevel=2)
+        return self.query(sql)
 
     def execute_unchecked(self, sql) -> Result:
         """Execute a statement bypassing stacked filters (still persisting
         policies).  Intended for schema setup in tests and installers."""
         return self._execute(sql)
+
+    def create_index(self, table: str, column: str, kind: str = "sorted",
+                     name: Optional[str] = None) -> Result:
+        """Declare a secondary index on ``table.column`` (schema setup —
+        bypasses stacked filters, like :meth:`execute_unchecked`).  The
+        definition is WAL-logged and snapshot-persisted on durable engines;
+        the index itself is rebuilt from rows on recovery."""
+        return self.engine.create_index(table, column, kind, name)
 
     def transaction(self, *tables: str):
         """Hold the locks of ``tables`` across a compound operation.
@@ -208,8 +297,10 @@ class Database:
 
     # -- execution with policy persistence ---------------------------------------------------
 
-    def _execute(self, sql) -> Result:
+    def _execute(self, sql, params: Optional[Dict[str, Any]] = None) -> Result:
         statement = parse(sql) if isinstance(sql, str) else sql
+        if params:
+            statement = bind_parameters(statement, params)
         # Policy persistence is a read-modify-write sequence over the shared
         # engine (inspect schema, add policy columns, execute); hold the
         # locks of exactly the tables this statement touches across the
@@ -220,7 +311,7 @@ class Database:
         # required order), so the lazy ``add_column`` calls below stay
         # atomic with respect to checkpoints; the engine's nested gate
         # entries are reentrant and its nested commits defer to ours.
-        mutates = not isinstance(statement, nodes.Select)
+        mutates = not isinstance(statement, (nodes.Select, nodes.Explain))
         with self._durable_scope(mutates):
             with self.engine.locked(*self.engine.statement_tables(statement)):
                 result = self._dispatch(statement)
@@ -237,8 +328,13 @@ class Database:
         return sink.mutation()
 
     def _dispatch(self, statement) -> Result:
+        if isinstance(statement, nodes.Explain):
+            # Planned over the application's statement: the policy-column
+            # augmentation is an execution detail and is elided from plans.
+            return Result(["plan"],
+                          [[line] for line in self._explain(statement.statement)])
         if not self.persist_policies:
-            return self.engine.execute(statement)
+            return self.engine.run(statement)
         if isinstance(statement, nodes.CreateTable):
             return self._create(statement)
         if isinstance(statement, nodes.Insert):
@@ -247,7 +343,13 @@ class Database:
             return self._update(statement)
         if isinstance(statement, nodes.Select):
             return self._select(statement)
-        return self.engine.execute(statement)
+        return self.engine.run(statement)
+
+    def _explain(self, statement) -> List[str]:
+        """Stable plan text: a ``PolicyMode`` header line, then the engine
+        plan (one node per line, two-space indent per level)."""
+        return ([f"PolicyMode {self.policy_mode}"]
+                + self.engine.explain_lines(statement))
 
     def _create(self, stmt: nodes.CreateTable) -> Result:
         augmented_columns: List[nodes.ColumnDef] = []
@@ -257,7 +359,7 @@ class Database:
             if not is_policy_column(column.name):
                 augmented_columns.append(
                     nodes.ColumnDef(policy_column(column.name), "TEXT"))
-        return self.engine.execute(nodes.CreateTable(
+        return self.engine.run(nodes.CreateTable(
             stmt.table, augmented_columns, stmt.if_not_exists))
 
     def _insert(self, stmt: nodes.Insert) -> Result:
@@ -280,7 +382,7 @@ class Database:
             for name in policy_columns:
                 if not table.has_column(name):
                     table.add_column(nodes.ColumnDef(name, "TEXT"))
-        return self.engine.execute(
+        return self.engine.run(
             nodes.Insert(stmt.table, columns + policy_columns, new_rows))
 
     def _update(self, stmt: nodes.Update) -> Result:
@@ -296,12 +398,12 @@ class Database:
                 table.add_column(nodes.ColumnDef(policy_column(column), "TEXT"))
             assignments.append((policy_column(column),
                                 nodes.Literal(serialized)))
-        return self.engine.execute(
+        return self.engine.run(
             nodes.Update(stmt.table, assignments, stmt.where))
 
     def _select(self, stmt: nodes.Select) -> Result:
         if stmt.table is None or stmt.table not in self.engine.tables:
-            return self.engine.execute(stmt)
+            return self.engine.run(stmt)
         table = self.engine.tables[stmt.table]
         data_columns = [c for c in table.column_names if not is_policy_column(c)]
 
@@ -323,7 +425,7 @@ class Database:
 
         augmented = nodes.Select(items, stmt.table, stmt.where, stmt.order_by,
                                  stmt.limit, stmt.offset, stmt.distinct)
-        raw = self.engine.execute(augmented)
+        raw = self.engine.run(augmented)
 
         requested = [item.output_name for item in stmt.items
                      if not isinstance(item.expr, nodes.Star)]
@@ -332,6 +434,7 @@ class Database:
                 item.output_name for item in stmt.items
                 if not isinstance(item.expr, nodes.Star)]
 
+        cleared = self._plan_clearance()
         out_rows: List[Row] = []
         for row in raw.rows:
             values = {}
@@ -339,11 +442,98 @@ class Database:
                 values[column] = row[column] if column in row else None
             for data_name, policy_name in annotate:
                 if policy_name and policy_name in row:
+                    serialized = row[policy_name]
+                    if cleared is not None and cleared(serialized):
+                        # Enforce mode: every policy in this blob allowed the
+                        # requesting principal at plan level — the value
+                        # flows out plain, skipping per-cell attachment.
+                        continue
                     values[data_name] = apply_cell_policies(
-                        values.get(data_name), row[policy_name],
+                        values.get(data_name), serialized,
                         tolerant=self.tolerant_policies)
             out_rows.append(Row(requested, [values[c] for c in requested]))
         return Result(requested, out_rows)
+
+    # -- enforce-mode plan-level clearance -----------------------------------------------
+
+    def _plan_clearance(self) -> Optional[Callable[[Optional[str]], bool]]:
+        """In enforce mode, a per-execution predicate deciding — once per
+        distinct stored policy blob — whether the requesting principal
+        clears *every* policy in the blob via
+        :meth:`~repro.core.policy.Policy.scan_predicate`.
+
+        Returns ``None`` (observe behaviour) when the mode is ``observe``
+        or when no request context is bound to this database's environment
+        — without a requesting principal there is nothing to clear against.
+        Any blob that fails to deserialize, or contains a policy answering
+        ``False``/``None``, falls back to per-cell attachment, so verdicts
+        are identical to observe mode by construction."""
+        if self.policy_mode != "enforce":
+            return None
+        context = self._enforcement_context()
+        if context is None:
+            return None
+        memo: Dict[str, bool] = {}
+
+        def cleared(serialized: Optional[str]) -> bool:
+            if not serialized:
+                return False
+            verdict = memo.get(serialized)
+            if verdict is None:
+                memo[serialized] = verdict = self._blob_cleared(
+                    serialized, context)
+            return verdict
+
+        return cleared
+
+    def _enforcement_context(self) -> Optional[FilterContext]:
+        """The export context the current request would present at its HTTP
+        boundary.  Clearance is scoped to the requesting principal: a value
+        cleared here and then re-exported through a *different* channel in
+        the same request is over-approximated as allowed (documented
+        enforce-mode caveat; use observe mode for such flows)."""
+        rctx = self._request()
+        if rctx is None:
+            return None
+        http = getattr(rctx, "http", None)
+        if http is not None and getattr(http, "context", None) is not None:
+            return http.context
+        context = FilterContext(type="http", user=rctx.user)
+        if rctx.priv_chair:
+            context["priv_chair"] = True
+        for key, value in rctx.extra.items():
+            context.setdefault(key, value)
+        context.env = self.env
+        return context
+
+    def _blob_cleared(self, serialized: str, context: FilterContext) -> bool:
+        policies = self._blob_cache.get(serialized, _CACHE_MISS)
+        if policies is _CACHE_MISS:
+            try:
+                policies = self._blob_policies(json.loads(serialized))
+            except Exception:
+                policies = None
+            if len(self._blob_cache) >= _BLOB_CACHE_LIMIT:
+                self._blob_cache.clear()
+            self._blob_cache[serialized] = policies
+        if policies is None:
+            return False
+        for policy in policies:
+            if policy.scan_predicate(context) is not True:
+                return False
+        return True
+
+    def _blob_policies(self, record) -> Optional[List]:
+        tolerant = self.tolerant_policies
+        kind = record.get("kind")
+        if kind == "rangemap":
+            segments = record.get("map", {}).get("segments", [])
+            return [deserialize_policy(item, tolerant=tolerant)
+                    for _start, _stop, items in segments for item in items]
+        if kind == "policyset":
+            return list(deserialize_policyset(record.get("policies", []),
+                                              tolerant=tolerant))
+        return None
 
     def _add_policy_item(self, items: List[nodes.SelectItem], table,
                          column: str, alias_base: Optional[str] = None):
@@ -353,3 +543,119 @@ class Database:
         alias = policy_column(alias_base) if alias_base else name
         items.append(nodes.SelectItem(nodes.ColumnRef(name), alias))
         return alias
+
+
+def _query_param_names(sql) -> FrozenSet[str]:
+    """The ``:name`` parameters a query mentions.
+
+    Cheap on the hot path: SQL text without a ``:`` has no parameters and
+    skips tokenization entirely.  Text that fails to tokenize is reported
+    as parameterless — the filter chain may rewrite it into valid SQL (the
+    auto-sanitizing filter does), so errors are left to the execution path,
+    which sees exactly what the chain produced."""
+    if isinstance(sql, str):
+        if ":" not in str(sql):
+            return frozenset()
+        try:
+            return frozenset(str(token.value) for token in tokenize(sql)
+                             if token.type == PARAM)
+        except SQLError:
+            return frozenset()
+    return frozenset(collect_params(sql))
+
+
+class PreparedQuery:
+    """The handle :meth:`Database.query` returns.
+
+    Wraps one SQL statement plus its (possibly partial) parameter bindings.
+    When every ``:name`` parameter is bound the statement executes eagerly
+    at construction, so ``db.query(sql)`` keeps its pre-plan-API behaviour —
+    the handle delegates the whole :class:`~repro.sql.engine.Result` API to
+    the most recent execution.  On top of that it offers:
+
+    * ``run(**params)`` — (re-)execute with additional bindings; each
+      execution re-enters the channel's filter chain with the *original*
+      query text, so injection filters and request overlays apply every
+      time;
+    * ``explain()`` — the plan as stable text (``PolicyMode`` header, then
+      one node per line, two-space indent per level) without executing;
+      unbound parameters appear as ``:name`` in plan predicates.
+    """
+
+    def __init__(self, db: Database, sql,
+                 params: Optional[Dict[str, Any]] = None):
+        self._db = db
+        self._sql = sql
+        self._params: Dict[str, Any] = dict(params) if params else {}
+        self._names = _query_param_names(sql)
+        self._result: Optional[Result] = None
+        if not (self._names - set(self._params)):
+            self._result = self._invoke(self._params)
+
+    def _invoke(self, params: Dict[str, Any]) -> Result:
+        kwargs = {"params": params} if params else {}
+        return self._db._effective_chain().filter_func(
+            self._db._execute, (self._sql,), kwargs)
+
+    def run(self, **params: Any) -> "PreparedQuery":
+        """(Re-)execute with ``params`` overlaid on the constructor's
+        bindings; returns ``self`` for chaining."""
+        merged = {**self._params, **params}
+        missing = self._names - set(merged)
+        if missing:
+            raise SQLError("unbound parameter :"
+                           + ", :".join(sorted(missing)))
+        self._params = merged
+        self._result = self._invoke(merged)
+        return self
+
+    def explain(self) -> str:
+        """The statement's plan as stable text, without executing it."""
+        statement = (parse(self._sql) if isinstance(self._sql, str)
+                     else self._sql)
+        if isinstance(statement, nodes.Explain):
+            statement = statement.statement
+        if self._params:
+            statement = bind_parameters(statement, self._params)
+        return "\n".join(self._db._explain(statement))
+
+    # -- Result delegation ---------------------------------------------------------
+
+    @property
+    def result(self) -> Result:
+        """The most recent execution's :class:`~repro.sql.engine.Result`."""
+        if self._result is None:
+            missing = sorted(self._names - set(self._params))
+            raise SQLError(
+                "prepared query has unbound parameters (:"
+                + ", :".join(missing) + "); call .run(name=value, ...)")
+        return self._result
+
+    @property
+    def columns(self):
+        return self.result.columns
+
+    @property
+    def rows(self):
+        return self.result.rows
+
+    @property
+    def rowcount(self):
+        return self.result.rowcount
+
+    def scalar(self):
+        return self.result.scalar()
+
+    def __iter__(self):
+        return iter(self.result)
+
+    def __len__(self):
+        return len(self.result)
+
+    def __bool__(self):
+        return bool(self.result)
+
+    def __repr__(self) -> str:
+        state = ("unbound" if self._result is None
+                 else f"{self.result.rowcount} rows")
+        return f"PreparedQuery({str(self._sql)[:60]!r}, {state})"

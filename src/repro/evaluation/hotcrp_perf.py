@@ -15,6 +15,7 @@ from __future__ import annotations
 
 
 from ..apps.hotcrp import HotCRP
+from ..core.request_context import RequestContext
 from ..environment import Environment
 
 #: Overhead the paper reports for this workload (88 ms / 66 ms).
@@ -25,11 +26,20 @@ class HotCRPPageWorkload:
     """One configuration (with or without RESIN) of the Section 7.1 page."""
 
     def __init__(self, use_resin: bool, paper_id: int = 1,
-                 pc_member: str = "pc@example.org"):
+                 pc_member: str = "pc@example.org",
+                 policy_mode: str = "observe", population: int = 0):
         self.use_resin = use_resin
         self.paper_id = paper_id
         self.pc_member = pc_member
+        self.policy_mode = policy_mode
+        #: Extra accounts/papers/reviews seeded around the measured paper —
+        #: at 0 the site matches the paper's minimal configuration; larger
+        #: populations exercise the planner's index lookups on the page's
+        #: hot queries (users by email, papers by id, reviews by paper).
+        self.population = population
         self.site = self._build_site()
+        if use_resin:
+            self.site.env.db.set_policy_mode(policy_mode)
 
     def _build_site(self) -> HotCRP:
         # The unmodified configuration runs on a substrate without policy
@@ -51,10 +61,27 @@ class HotCRPPageWorkload:
         site.add_review(self.paper_id, self.pc_member,
                         "The mechanism is simple and the evaluation broad.",
                         released=False)
+        for n in range(self.population):
+            site.register_user(f"member{n}@example.org", f"pw-{n}",
+                               is_pc=(n % 3 == 0))
+            site.submit_paper(
+                1000 + n, f"Population paper {n}",
+                "Filler abstract for planner benchmarking. " * 4,
+                [f"member{n}@example.org"], anonymous=(n % 2 == 0))
+            site.add_review(1000 + n, self.pc_member, f"Review {n}.",
+                            released=False)
         return site
 
     def generate_page(self) -> str:
         """The timed unit of work: one paper-view page for the PC member."""
+        if self.policy_mode == "enforce":
+            # Enforce-mode plan clearance is scoped to a requesting
+            # principal; bind the PC member's request context around the
+            # page, as the web front end does per request.
+            with RequestContext(env=self.site.env, user=self.pc_member,
+                                is_pc=True):
+                return self.site.paper_page(self.paper_id,
+                                            self.pc_member).body()
         response = self.site.paper_page(self.paper_id, self.pc_member)
         return response.body()
 
@@ -63,8 +90,12 @@ class HotCRPPageWorkload:
 
 
 def build_workloads() -> dict:
-    """Both configurations, keyed like the paper's comparison."""
+    """The paper's two configurations plus the enforce-mode variant, which
+    pays decidable policy checks once per query plan instead of once per
+    result cell; all three render byte-identical pages."""
     return {
         "unmodified": HotCRPPageWorkload(use_resin=False),
         "resin": HotCRPPageWorkload(use_resin=True),
+        "resin-enforce": HotCRPPageWorkload(use_resin=True,
+                                            policy_mode="enforce"),
     }

@@ -106,7 +106,7 @@ class MicrobenchSuite:
                   ", ".join(f"{c} TEXT" for c in columns) + ")")
         if self.configuration == "unmodified":
             self.engine = Engine()
-            self.engine.execute(create)
+            self.engine.run(create)
             self.db = None
         else:
             self.db = Database(Engine(), persist_policies=True)
@@ -154,7 +154,7 @@ class MicrobenchSuite:
 
     def _sql_execute(self, query):
         if self.db is None:
-            return self.engine.execute(str(query))
+            return self.engine.run(str(query))
         return self.db.query(query)
 
     # -- the measured operations -------------------------------------------------------------

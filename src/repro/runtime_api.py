@@ -345,6 +345,20 @@ class Resin:
         ``default`` — sugar for ``resin.services.get(name)``."""
         return self.env.services.get(name, default)
 
+    def create_index(self, table: str, column: str, kind: str = "sorted",
+                     name: Optional[str] = None):
+        """Declare a secondary index on ``table.column`` — sugar for
+        ``resin.db.create_index(...)``.  Durable engines WAL-log the
+        definition and rebuild the index on recovery."""
+        return self.env.db.create_index(table, column, kind, name)
+
+    def set_policy_mode(self, mode: str) -> "Resin":
+        """Switch the database between ``observe`` and ``enforce`` policy
+        modes (see :data:`repro.channels.sqlchan.POLICY_MODES`); returns
+        ``self`` for chaining."""
+        self.env.db.set_policy_mode(mode)
+        return self
+
     # -- taint / policy primitives (Table 3) ------------------------------------
 
     def taint(self, data: Any, *policies: Policy) -> Any:

@@ -10,13 +10,25 @@ layer up, in :class:`repro.channels.sqlchan.Database`.
 from __future__ import annotations
 
 import contextlib
-import re
+import warnings
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.exceptions import SQLError
 from ..core.locking import OrderedLockRegistry
 from . import nodes
+from .executor import (
+    Executor,
+    coerce_pair,
+    evaluate,
+    evaluate_aggregate,
+    sort_key,
+    sql_equal,
+    sql_like,
+    stored_value,
+)
+from .indexes import SecondaryIndex
 from .parser import parse
+from .planner import Planner
 
 
 class Row(dict):
@@ -38,9 +50,12 @@ class Row(dict):
 class Result:
     """Result of executing a statement."""
 
-    def __init__(self, columns: Sequence[str] = (),
-                 rows: Iterable[Sequence[Any]] = (),
-                 rowcount: int = 0):
+    def __init__(
+        self,
+        columns: Sequence[str] = (),
+        rows: Iterable[Sequence[Any]] = (),
+        rowcount: int = 0,
+    ):
         self.columns = list(columns)
         self.rows: List[Row] = [
             row if isinstance(row, Row) else Row(self.columns, row)
@@ -71,6 +86,9 @@ class Table:
         self.columns = list(columns)
         self.column_names = [c.name for c in self.columns]
         self.rows: List[Dict[str, Any]] = []
+        #: Secondary indexes by name, maintained inside this table's lock
+        #: scope by the engine's mutation paths.
+        self.indexes: Dict[str, SecondaryIndex] = {}
 
     def has_column(self, name: str) -> bool:
         return name in self.column_names
@@ -114,14 +132,21 @@ class Engine:
         #: per-subtree locks): one reentrant lock per table name,
         #: sorted-order multi-acquisition, fail-fast ordering violations.
         self._locking = OrderedLockRegistry(
-            noun="table", error=SQLError,
+            noun="table",
+            error=SQLError,
             hint="name every table the compound operation touches in its "
-                 "outermost locked()/transaction() call")
+            "outermost locked()/transaction() call",
+        )
         #: Guards :attr:`tables` (the directory, not the rows) and the lock
         #: registry.  Short-lived and innermost: held only while
         #: creating/dropping a table or materializing a table lock, never
         #: across statement execution.
         self.catalog_lock = self._locking.registry_lock
+        #: The planner/executor pair behind :meth:`run`.  Plans are rebuilt
+        #: per execution (planning is a few conjunct inspections), so index
+        #: and schema changes can never leave a stale plan behind.
+        self.planner = Planner(self)
+        self.executor = Executor(self)
 
     # -- locking ----------------------------------------------------------------
 
@@ -190,17 +215,18 @@ class Engine:
         """Log a row-level mutation record carrying the table's full column
         list of this moment, so replay materializes lazily-added policy
         columns exactly as the live path did."""
-        record = {"op": op, "table": table.name,
-                  "columns": list(table.column_names)}
+        record = {"op": op, "table": table.name, "columns": list(table.column_names)}
         record.update(payload)
         self._log(record)
 
     # -- public API -------------------------------------------------------------
 
-    def execute(self, statement) -> Result:
-        """Execute a SQL string or a parsed statement."""
+    def run(self, statement) -> Result:
+        """Execute a SQL string or a parsed statement (plan + execute)."""
         if isinstance(statement, str):
             statement = parse(statement)
+        if isinstance(statement, nodes.Explain):
+            return self._explain(statement.statement)
         if isinstance(statement, nodes.Select):
             if statement.table is None:
                 return self._select(statement)
@@ -210,7 +236,42 @@ class Engine:
         self._commit_durable()
         return result
 
+    def execute(self, statement) -> Result:
+        """Deprecated alias of :meth:`run` (the pre-plan-API entry point)."""
+        warnings.warn(
+            "Engine.execute() is deprecated; use Engine.run() (or "
+            "Database.query() for filtered, policy-persisting access)",
+            DeprecationWarning, stacklevel=2)
+        return self.run(statement)
+
+    def plan(self, statement):
+        """The plan :meth:`run` would execute for ``statement`` (parsed on
+        demand; callers wanting a stable snapshot of index choices should
+        hold the table's lock, as :meth:`explain_lines` does)."""
+        if isinstance(statement, str):
+            statement = parse(statement)
+        return self.planner.plan(statement)
+
+    def explain_lines(self, statement) -> List[str]:
+        """The EXPLAIN text for ``statement``, one line per plan node."""
+        if isinstance(statement, str):
+            statement = parse(statement)
+        if isinstance(statement, nodes.Explain):
+            statement = statement.statement
+        tables = self.statement_tables(statement)
+        with self.locked(*tables):
+            return self.planner.plan(statement).explain()
+
+    def _explain(self, statement) -> Result:
+        return Result(["plan"], [[line] for line in self.explain_lines(statement)])
+
     def _execute_mutation(self, statement) -> Result:
+        if isinstance(statement, nodes.CreateIndex):
+            with self._durable():
+                with self.locked(statement.table):
+                    return self._create_index(statement)
+        if isinstance(statement, nodes.DropIndex):
+            return self._drop_index(statement)
         if isinstance(statement, nodes.CreateTable):
             with self._durable():
                 with self.locked(statement.table), self.catalog_lock:
@@ -253,9 +314,15 @@ class Engine:
             raise SQLError(f"table {stmt.table} already exists")
         table = Table(stmt.table, stmt.columns)
         self.tables[stmt.table] = table
-        self._log({"op": "sql.create", "table": table.name,
-                   "columns": [[c.name, c.type, list(c.constraints)]
-                               for c in table.columns]})
+        self._log(
+            {
+                "op": "sql.create",
+                "table": table.name,
+                "columns": [
+                    [c.name, c.type, list(c.constraints)] for c in table.columns
+                ],
+            }
+        )
         return Result()
 
     def _drop(self, stmt: nodes.DropTable) -> Result:
@@ -266,6 +333,94 @@ class Engine:
         del self.tables[stmt.table]
         self._log({"op": "sql.drop", "table": stmt.table})
         return Result()
+
+    # -- secondary indexes ------------------------------------------------------
+
+    def create_index(
+        self,
+        table: str,
+        column: str,
+        kind: str = "sorted",
+        name: Optional[str] = None,
+        if_not_exists: bool = True,
+    ) -> Result:
+        """Declare (and immediately build) a secondary index — the Python
+        spelling of ``CREATE INDEX``, durable like any other mutation."""
+        if name is None:
+            name = f"idx_{table}_{column}"
+        return self.run(nodes.CreateIndex(name, table, column, kind, if_not_exists))
+
+    def _create_index(self, stmt: nodes.CreateIndex) -> Result:
+        table = self.table(stmt.table)
+        if stmt.name in table.indexes:
+            if stmt.if_not_exists:
+                return Result()
+            raise SQLError(f"index {stmt.name} already exists on {table.name}")
+        if not table.has_column(stmt.column):
+            raise SQLError(
+                f"table {table.name} has no column {stmt.column!r}")
+        index = SecondaryIndex(stmt.name, table.name, stmt.column, stmt.kind)
+        index.rebuild(table.rows)
+        table.indexes[stmt.name] = index
+        # Definition only: recovery rebuilds the index from the replayed
+        # rows, so the WAL never carries index payloads.
+        self._log(
+            {
+                "op": "sql.create_index",
+                "table": table.name,
+                "index": index.name,
+                "column": index.column,
+                "kind": index.kind,
+            }
+        )
+        return Result()
+
+    def _drop_index(self, stmt: nodes.DropIndex) -> Result:
+        owner = self._index_owner(stmt.name)
+        if owner is None:
+            if stmt.if_exists:
+                return Result()
+            raise SQLError(f"no such index: {stmt.name}")
+        with self._durable():
+            with self.locked(owner):
+                table = self.tables.get(owner)
+                if table is None or stmt.name not in table.indexes:
+                    if stmt.if_exists:
+                        return Result()
+                    raise SQLError(f"no such index: {stmt.name}")
+                del table.indexes[stmt.name]
+                self._log({"op": "sql.drop_index", "table": owner, "index": stmt.name})
+        return Result()
+
+    def _index_owner(self, name: str) -> Optional[str]:
+        for table in list(self.tables.values()):
+            if name in table.indexes:
+                return table.name
+        return None
+
+    def _maintain_on_insert(self, table: Table, first_position: int,
+                            new_rows: List[Dict[str, Any]]) -> None:
+        if not table.indexes:
+            return
+        for offset, row in enumerate(new_rows):
+            position = first_position + offset
+            for index in table.indexes.values():
+                index.add_row(position, row)
+
+    def _maintain_on_update(self, table: Table,
+                            assigned: Iterable[str]) -> None:
+        if not table.indexes:
+            return
+        assigned = set(assigned)
+        for index in table.indexes.values():
+            if index.column in assigned:
+                index.rebuild(table.rows)
+
+    def _maintain_on_delete(self, table: Table) -> None:
+        # Deleting compacts row positions, so every index must renumber;
+        # the rebuild is the same O(n) as the delete itself.
+        for index in table.indexes.values():
+            index.rebuild(table.rows)
 
     def _insert(self, stmt: nodes.Insert) -> Result:
         table = self.table(stmt.table)
@@ -280,6 +435,7 @@ class Engine:
                 row[column] = _stored_value(self._evaluate(expr, None, table))
             table.rows.append(row)
             new_rows.append(row)
+        self._maintain_on_insert(table, len(table.rows) - len(new_rows), new_rows)
         if new_rows and self.durability is not None:
             self._log_rows("sql.insert", table, {"rows": [
                 [self._encode_cell(row[name]) for name in table.column_names]
@@ -287,21 +443,32 @@ class Engine:
         return Result(rowcount=len(new_rows))
 
     def _select(self, stmt: nodes.Select) -> Result:
+        """Plan and execute a SELECT (caller holds the table's lock)."""
+        return self.executor.execute(self.planner.plan_select(stmt))
+
+    def _select_reference(self, stmt: nodes.Select) -> Result:
+        """The retained naive full-scan SELECT path.
+
+        Kept verbatim from the pre-planner engine as the oracle for the
+        plan-vs-naive differential tests: it shares every comparison and
+        evaluation helper with the executor, so any row-set divergence is a
+        planner/index bug by construction.  Not used on the hot path.
+        """
         if stmt.table is None:
             # SELECT without FROM: evaluate items against an empty row.
             columns = [item.output_name for item in stmt.items]
-            values = [self._evaluate(item.expr, {}, None)
-                      for item in stmt.items]
+            values = [self._evaluate(item.expr, {}, None) for item in stmt.items]
             return Result(columns, [values])
 
         table = self.table(stmt.table)
-        matching = [row for row in table.rows
-                    if self._matches(stmt.where, row, table)]
+        matching = [row for row in table.rows if self._matches(stmt.where, row, table)]
 
         if self._is_aggregate_select(stmt):
             columns = [item.output_name for item in stmt.items]
-            values = [self._evaluate_aggregate(item.expr, matching, table)
-                      for item in stmt.items]
+            values = [
+                self._evaluate_aggregate(item.expr, matching, table)
+                for item in stmt.items
+            ]
             return Result(columns, [values])
 
         for ordering in reversed(stmt.order_by):
@@ -346,6 +513,48 @@ class Engine:
             if not table.has_column(column):
                 raise SQLError(
                     f"table {table.name} has no column {column!r}")
+        # Collect matching positions through the planned (possibly
+        # index-driven) scan, then mutate.  Each row's match depends only
+        # on its own pre-update values, so collect-then-mutate is
+        # equivalent to the reference path's mutate-as-you-scan.
+        source = self.planner.plan(stmt).source
+        matches = list(self.executor.scan(source))
+        touched: List[int] = []
+        for position, row in matches:
+            for column, expr in stmt.assignments:
+                row[column] = _stored_value(
+                    self._evaluate(expr, row, table))
+            touched.append(position)
+        if touched:
+            self._maintain_on_update(table, (column for column, _ in stmt.assignments))
+        if touched and self.durability is not None:
+            # Full row images, not expressions: replay is exact regardless
+            # of what the SET expressions computed from.
+            self._log_rows(
+                "sql.update",
+                table,
+                {
+                    "updates": [
+                        [
+                            index,
+                            [
+                                self._encode_cell(table.rows[index][name])
+                                for name in table.column_names
+                            ],
+                        ]
+                        for index in touched
+                    ]
+                },
+            )
+        return Result(rowcount=len(touched))
+
+    def _update_reference(self, stmt: nodes.Update) -> Result:
+        """The retained naive full-scan UPDATE (differential oracle)."""
+        table = self.table(stmt.table)
+        for column, _ in stmt.assignments:
+            if not table.has_column(column):
+                raise SQLError(
+                    f"table {table.name} has no column {column!r}")
         touched: List[int] = []
         for index, row in enumerate(table.rows):
             if self._matches(stmt.where, row, table):
@@ -353,16 +562,45 @@ class Engine:
                     row[column] = _stored_value(
                         self._evaluate(expr, row, table))
                 touched.append(index)
+        if touched:
+            self._maintain_on_update(table, (column for column, _ in stmt.assignments))
         if touched and self.durability is not None:
-            # Full row images, not expressions: replay is exact regardless
-            # of what the SET expressions computed from.
-            self._log_rows("sql.update", table, {"updates": [
-                [index, [self._encode_cell(table.rows[index][name])
-                         for name in table.column_names]]
-                for index in touched]})
+            self._log_rows(
+                "sql.update",
+                table,
+                {
+                    "updates": [
+                        [
+                            index,
+                            [
+                                self._encode_cell(table.rows[index][name])
+                                for name in table.column_names
+                            ],
+                        ]
+                        for index in touched
+                    ]
+                },
+            )
         return Result(rowcount=len(touched))
 
     def _delete(self, stmt: nodes.Delete) -> Result:
+        table = self.table(stmt.table)
+        source = self.planner.plan(stmt).source
+        doomed = [position for position, _ in self.executor.scan(source)]
+        if doomed:
+            doomed_set = set(doomed)
+            table.rows = [
+                row
+                for position, row in enumerate(table.rows)
+                if position not in doomed_set
+            ]
+            self._maintain_on_delete(table)
+        if doomed and self.durability is not None:
+            self._log_rows("sql.delete", table, {"indices": doomed})
+        return Result(rowcount=len(doomed))
+
+    def _delete_reference(self, stmt: nodes.Delete) -> Result:
+        """The retained naive full-scan DELETE (differential oracle)."""
         table = self.table(stmt.table)
         keep: List[Dict[str, Any]] = []
         doomed: List[int] = []
@@ -372,175 +610,43 @@ class Engine:
             else:
                 keep.append(row)
         table.rows = keep
+        if doomed:
+            self._maintain_on_delete(table)
         if doomed and self.durability is not None:
             self._log_rows("sql.delete", table, {"indices": doomed})
         return Result(rowcount=len(doomed))
 
-    # -- expression evaluation -----------------------------------------------------------
+    # -- expression evaluation ----------------------------------------------
 
-    def _matches(self, where: Optional[nodes.Expr],
-                 row: Dict[str, Any], table: Table) -> bool:
+    def _matches(
+        self, where: Optional[nodes.Expr], row: Dict[str, Any], table: Table
+    ) -> bool:
         if where is None:
             return True
         return bool(self._evaluate(where, row, table))
 
     def _is_aggregate_select(self, stmt: nodes.Select) -> bool:
-        return any(isinstance(item.expr, nodes.FuncCall)
-                   and item.expr.name in ("count", "min", "max", "sum", "avg")
-                   for item in stmt.items)
+        return any(
+            isinstance(item.expr, nodes.FuncCall)
+            and item.expr.name in ("count", "min", "max", "sum", "avg")
+            for item in stmt.items
+        )
 
-    def _evaluate_aggregate(self, expr: nodes.Expr,
-                            rows: List[Dict[str, Any]],
-                            table: Table) -> Any:
-        if isinstance(expr, nodes.FuncCall):
-            name = expr.name
-            if name == "count":
-                if expr.star or not expr.args:
-                    return len(rows)
-                values = [self._evaluate(expr.args[0], row, table)
-                          for row in rows]
-                return sum(1 for v in values if v is not None)
-            if name in ("min", "max", "sum", "avg"):
-                values = [self._evaluate(expr.args[0], row, table)
-                          for row in rows]
-                values = [v for v in values if v is not None]
-                if not values:
-                    return None
-                if name == "min":
-                    return min(values)
-                if name == "max":
-                    return max(values)
-                if name == "sum":
-                    return sum(values)
-                return sum(values) / len(values)
-        # Non-aggregate expression in an aggregate query: evaluate against
-        # the first matching row (MySQL-ish permissiveness).
-        return self._evaluate(expr, rows[0] if rows else {}, table)
+    def _evaluate_aggregate(
+        self, expr: nodes.Expr, rows: List[Dict[str, Any]], table: Table
+    ) -> Any:
+        return evaluate_aggregate(expr, rows, table)
 
-    def _evaluate(self, expr: nodes.Expr, row: Optional[Dict[str, Any]],
-                  table: Optional[Table]) -> Any:
-        if isinstance(expr, nodes.Literal):
-            return expr.value
-        if isinstance(expr, nodes.ColumnRef):
-            if row is None:
-                raise SQLError(
-                    f"column {expr.name!r} is not allowed in this context")
-            if expr.name in row:
-                return row[expr.name]
-            if table is not None and not table.has_column(expr.name):
-                raise SQLError(
-                    f"no such column: {expr.name}")
-            return None
-        if isinstance(expr, nodes.UnaryOp):
-            value = self._evaluate(expr.operand, row, table)
-            if expr.op == "not":
-                return not bool(value)
-            raise SQLError(f"unsupported unary operator {expr.op}")
-        if isinstance(expr, nodes.BinaryOp):
-            return self._binary(expr, row, table)
-        if isinstance(expr, nodes.InList):
-            value = self._evaluate(expr.operand, row, table)
-            members = [self._evaluate(item, row, table)
-                       for item in expr.items]
-            found = any(_sql_equal(value, member) for member in members)
-            return (not found) if expr.negated else found
-        if isinstance(expr, nodes.IsNull):
-            value = self._evaluate(expr.operand, row, table)
-            return (value is not None) if expr.negated else (value is None)
-        if isinstance(expr, nodes.FuncCall):
-            return self._scalar_function(expr, row, table)
-        if isinstance(expr, nodes.Star):
-            raise SQLError("'*' is not allowed in this context")
-        raise SQLError(f"cannot evaluate {type(expr).__name__}")
-
-    def _binary(self, expr: nodes.BinaryOp, row, table) -> Any:
-        op = expr.op
-        if op == "and":
-            return bool(self._evaluate(expr.left, row, table)) and \
-                bool(self._evaluate(expr.right, row, table))
-        if op == "or":
-            return bool(self._evaluate(expr.left, row, table)) or \
-                bool(self._evaluate(expr.right, row, table))
-        left = self._evaluate(expr.left, row, table)
-        right = self._evaluate(expr.right, row, table)
-        if op == "=":
-            return _sql_equal(left, right)
-        if op == "!=":
-            return not _sql_equal(left, right)
-        if op == "like":
-            return _sql_like(left, right)
-        if left is None or right is None:
-            return False
-        left, right = _coerce_pair(left, right)
-        if op == "<":
-            return left < right
-        if op == "<=":
-            return left <= right
-        if op == ">":
-            return left > right
-        if op == ">=":
-            return left >= right
-        raise SQLError(f"unsupported operator {op!r}")
-
-    def _scalar_function(self, expr: nodes.FuncCall, row, table) -> Any:
-        args = [self._evaluate(arg, row, table) for arg in expr.args]
-        name = expr.name
-        if name == "lower":
-            return None if args[0] is None else str(args[0]).lower()
-        if name == "upper":
-            return None if args[0] is None else str(args[0]).upper()
-        if name == "length":
-            return None if args[0] is None else len(str(args[0]))
-        if name in ("count", "min", "max", "sum", "avg"):
-            raise SQLError(
-                f"aggregate {name}() not allowed in this context")
-        raise SQLError(f"unknown function {name!r}")
+    def _evaluate(
+        self, expr: nodes.Expr, row: Optional[Dict[str, Any]], table: Optional[Table]
+    ) -> Any:
+        return evaluate(expr, row, table)
 
 
-def _stored_value(value):
-    """Values stored in a table are plain Python objects.
-
-    The engine stands in for an external database server: data crossing into
-    it loses its in-runtime policy annotations, exactly like data sent to a
-    real MySQL would.  Policies survive the round trip only through the
-    policy columns maintained by :class:`repro.channels.sqlchan.Database` —
-    which is the point of the paper's persistent-policy mechanism.
-    """
-    from ..tracking.propagation import strip_policies
-    return strip_policies(value)
-
-
-def _coerce_pair(left, right):
-    """Coerce operands for comparison (numeric strings compare numerically
-    with numbers, everything else compares as strings)."""
-    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
-        return left, right
-    if isinstance(left, (int, float)) or isinstance(right, (int, float)):
-        try:
-            return float(left), float(right)
-        except (TypeError, ValueError):
-            return str(left), str(right)
-    return str(left), str(right)
-
-
-def _sql_equal(left, right) -> bool:
-    if left is None or right is None:
-        return False
-    left, right = _coerce_pair(left, right)
-    return left == right
-
-
-def _sql_like(value, pattern) -> bool:
-    if value is None or pattern is None:
-        return False
-    regex = re.escape(str(pattern)).replace("%", ".*").replace("_", ".")
-    return re.fullmatch(regex, str(value), re.IGNORECASE) is not None
-
-
-def _sort_key(value):
-    """Total ordering across NULLs, numbers and strings."""
-    if value is None:
-        return (0, "", 0)
-    if isinstance(value, (int, float)):
-        return (1, "", float(value))
-    return (2, str(value), 0)
+# Back-compat aliases: the canonical comparison/evaluation helpers moved to
+# :mod:`repro.sql.executor` with the parser → planner → executor split.
+_stored_value = stored_value
+_coerce_pair = coerce_pair
+_sql_equal = sql_equal
+_sql_like = sql_like
+_sort_key = sort_key

@@ -70,6 +70,21 @@ class ColumnRef(Expr):
         return TaintedStr(self.name)
 
 
+class Param(Expr):
+    """A named placeholder (``:name``) bound at execution time.
+
+    Parameters survive planning — a prepared plan shows ``:name`` in its
+    EXPLAIN text — and are substituted with :class:`Literal` values (taint
+    and all) by :func:`repro.sql.planner.bind_parameters` just before the
+    statement runs."""
+
+    def __init__(self, name: str):
+        self.name = str(name)
+
+    def to_sql(self) -> TaintedStr:
+        return TaintedStr(f":{self.name}")
+
+
 class Star(Expr):
     def __init__(self, table: Optional[str] = None):
         self.table = table
@@ -94,13 +109,13 @@ class BinaryOp(Expr):
         self.right = right
 
     def to_sql(self) -> TaintedStr:
-        return concat("(", self.left.to_sql(), " ", self.op.upper(), " ",
-                      self.right.to_sql(), ")")
+        return concat(
+            "(", self.left.to_sql(), " ", self.op.upper(), " ", self.right.to_sql(), ")"
+        )
 
 
 class InList(Expr):
-    def __init__(self, operand: Expr, items: Sequence[Expr],
-                 negated: bool = False):
+    def __init__(self, operand: Expr, items: Sequence[Expr], negated: bool = False):
         self.operand = operand
         self.items = list(items)
         self.negated = negated
@@ -142,8 +157,7 @@ class Statement(Node):
 
 
 class ColumnDef(Node):
-    def __init__(self, name: str, type: str = "TEXT",
-                 constraints: Sequence[str] = ()):
+    def __init__(self, name: str, type: str = "TEXT", constraints: Sequence[str] = ()):
         self.name = str(name)
         self.type = str(type).upper()
         self.constraints = tuple(constraints)
@@ -154,8 +168,9 @@ class ColumnDef(Node):
 
 
 class CreateTable(Statement):
-    def __init__(self, table: str, columns: Sequence[ColumnDef],
-                 if_not_exists: bool = False):
+    def __init__(
+        self, table: str, columns: Sequence[ColumnDef], if_not_exists: bool = False
+    ):
         self.table = str(table)
         self.columns = list(columns)
         self.if_not_exists = if_not_exists
@@ -176,9 +191,61 @@ class DropTable(Statement):
         return TaintedStr(f"DROP TABLE {clause}{self.table}")
 
 
+class CreateIndex(Statement):
+    def __init__(
+        self,
+        name: str,
+        table: str,
+        column: str,
+        kind: str = "sorted",
+        if_not_exists: bool = False,
+    ):
+        self.name = str(name)
+        self.table = str(table)
+        self.column = str(column)
+        self.kind = str(kind).lower()
+        self.if_not_exists = if_not_exists
+
+    def to_sql(self) -> TaintedStr:
+        clause = "IF NOT EXISTS " if self.if_not_exists else ""
+        using = f" USING {self.kind.upper()}"
+        return TaintedStr(
+            f"CREATE INDEX {clause}{self.name} ON {self.table} "
+            f"({self.column}){using}")
+
+
+class DropIndex(Statement):
+    def __init__(self, name: str, if_exists: bool = False):
+        self.name = str(name)
+        self.if_exists = if_exists
+
+    def to_sql(self) -> TaintedStr:
+        clause = "IF EXISTS " if self.if_exists else ""
+        return TaintedStr(f"DROP INDEX {clause}{self.name}")
+
+
+class Explain(Statement):
+    """``EXPLAIN <statement>``: plan the wrapped statement and return its
+    plan text (one line per row) instead of executing it."""
+
+    def __init__(self, statement: Statement):
+        self.statement = statement
+
+    @property
+    def table(self) -> Optional[str]:
+        # Mirrors the wrapped statement so lock scoping (which keys off a
+        # statement's ``table`` attribute) covers planning-time reads of
+        # the table's index catalog.
+        return getattr(self.statement, "table", None)
+
+    def to_sql(self) -> TaintedStr:
+        return concat("EXPLAIN ", self.statement.to_sql())
+
+
 class Insert(Statement):
-    def __init__(self, table: str, columns: Sequence[str],
-                 rows: Sequence[Sequence[Expr]]):
+    def __init__(
+        self, table: str, columns: Sequence[str], rows: Sequence[Sequence[Expr]]
+    ):
         self.table = str(table)
         self.columns = [str(c) for c in columns]
         self.rows = [list(row) for row in rows]
@@ -188,8 +255,8 @@ class Insert(Statement):
         rendered_rows = []
         for row in self.rows:
             rendered_rows.append(
-                concat("(", TaintedStr(", ").join(e.to_sql() for e in row),
-                       ")"))
+                concat("(", TaintedStr(", ").join(e.to_sql() for e in row), ")")
+            )
         values = TaintedStr(", ").join(rendered_rows)
         return concat(f"INSERT INTO {self.table} ({cols}) VALUES ", values)
 
@@ -200,8 +267,7 @@ class OrderBy(Node):
         self.descending = descending
 
     def to_sql(self) -> TaintedStr:
-        return concat(self.expr.to_sql(),
-                      " DESC" if self.descending else " ASC")
+        return concat(self.expr.to_sql(), " DESC" if self.descending else " ASC")
 
 
 class SelectItem(Node):
@@ -224,12 +290,16 @@ class SelectItem(Node):
 
 
 class Select(Statement):
-    def __init__(self, items: Sequence[SelectItem], table: Optional[str],
-                 where: Optional[Expr] = None,
-                 order_by: Sequence[OrderBy] = (),
-                 limit: Optional[int] = None,
-                 offset: Optional[int] = None,
-                 distinct: bool = False):
+    def __init__(
+        self,
+        items: Sequence[SelectItem],
+        table: Optional[str],
+        where: Optional[Expr] = None,
+        order_by: Sequence[OrderBy] = (),
+        limit: Optional[int] = None,
+        offset: Optional[int] = None,
+        distinct: bool = False,
+    ):
         self.items = list(items)
         self.table = str(table) if table else None
         self.where = where
@@ -248,8 +318,12 @@ class Select(Statement):
         if self.where is not None:
             pieces.append(concat(" WHERE ", self.where.to_sql()))
         if self.order_by:
-            pieces.append(concat(" ORDER BY ", TaintedStr(", ").join(
-                o.to_sql() for o in self.order_by)))
+            pieces.append(
+                concat(
+                    " ORDER BY ",
+                    TaintedStr(", ").join(o.to_sql() for o in self.order_by),
+                )
+            )
         if self.limit is not None:
             pieces.append(TaintedStr(f" LIMIT {self.limit}"))
         if self.offset is not None:
@@ -258,9 +332,12 @@ class Select(Statement):
 
 
 class Update(Statement):
-    def __init__(self, table: str,
-                 assignments: Sequence[Tuple[str, Expr]],
-                 where: Optional[Expr] = None):
+    def __init__(
+        self,
+        table: str,
+        assignments: Sequence[Tuple[str, Expr]],
+        where: Optional[Expr] = None,
+    ):
         self.table = str(table)
         self.assignments = [(str(col), expr) for col, expr in assignments]
         self.where = where

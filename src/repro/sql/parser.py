@@ -13,8 +13,8 @@ from typing import List, Optional, Tuple
 
 from ..core.exceptions import SQLError
 from . import nodes
-from .tokenizer import (EOF, IDENT, KEYWORD, NUMBER, OP, PUNCT, STRING, Token,
-                        tokenize)
+from .tokenizer import (EOF, IDENT, KEYWORD, NUMBER, OP, PARAM, PUNCT, STRING,
+                        Token, tokenize)
 
 _TYPE_KEYWORDS = {"integer", "int", "text", "real", "float", "varchar", "char"}
 _AGGREGATES = {"count", "min", "max", "sum", "avg"}
@@ -75,6 +75,11 @@ class Parser:
         return statement
 
     def _statement(self) -> nodes.Statement:
+        if self.accept(KEYWORD, "explain"):
+            statement = self._statement()
+            if isinstance(statement, nodes.Explain):
+                raise SQLError("EXPLAIN cannot be nested")
+            return nodes.Explain(statement)
         if self.check(KEYWORD, "create"):
             return self._create()
         if self.check(KEYWORD, "drop"):
@@ -91,8 +96,10 @@ class Parser:
 
     # -- statements ------------------------------------------------------------------
 
-    def _create(self) -> nodes.CreateTable:
+    def _create(self) -> nodes.Statement:
         self.expect(KEYWORD, "create")
+        if self.accept(KEYWORD, "index"):
+            return self._create_index()
         self.expect(KEYWORD, "table")
         if_not_exists = False
         if self.accept(KEYWORD, "if"):
@@ -134,8 +141,31 @@ class Parser:
                 break
         return nodes.ColumnDef(name, column_type, constraints)
 
-    def _drop(self) -> nodes.DropTable:
+    def _create_index(self) -> nodes.CreateIndex:
+        if_not_exists = False
+        if self.accept(KEYWORD, "if"):
+            self.expect(KEYWORD, "not")
+            self.expect(KEYWORD, "exists")
+            if_not_exists = True
+        name = self.expect_ident()
+        self.expect(KEYWORD, "on")
+        table = self.expect_ident()
+        self.expect(PUNCT, "(")
+        column = self.expect_ident()
+        self.expect(PUNCT, ")")
+        kind = "sorted"
+        if self.accept(KEYWORD, "using"):
+            kind = self.expect_ident().lower()
+        return nodes.CreateIndex(name, table, column, kind, if_not_exists)
+
+    def _drop(self) -> nodes.Statement:
         self.expect(KEYWORD, "drop")
+        if self.accept(KEYWORD, "index"):
+            if_exists = False
+            if self.accept(KEYWORD, "if"):
+                self.expect(KEYWORD, "exists")
+                if_exists = True
+            return nodes.DropIndex(self.expect_ident(), if_exists)
         self.expect(KEYWORD, "table")
         if_exists = False
         if self.accept(KEYWORD, "if"):
@@ -317,6 +347,8 @@ class Parser:
             return nodes.Literal(self.advance().value)
         if self.accept(KEYWORD, "null"):
             return nodes.Literal(None)
+        if self.check(PARAM):
+            return nodes.Param(str(self.advance().value))
         if (self.current.type in (IDENT, KEYWORD)
                 and str(self.current.value).lower() in _FUNCTIONS
                 and self.tokens[self.position + 1].matches(PUNCT, "(")):

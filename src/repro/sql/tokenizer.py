@@ -19,7 +19,8 @@ KEYWORDS = frozenset("""
     select from where and or not insert into values update set delete create
     table drop if exists primary key null like in is order by asc desc limit
     offset integer int text real varchar char float distinct as count min max
-    sum avg lower upper length unique default autoincrement
+    sum avg lower upper length unique default autoincrement index on explain
+    using
 """.split())
 
 #: Token types.
@@ -29,6 +30,7 @@ STRING = "STRING"
 NUMBER = "NUMBER"
 OP = "OP"
 PUNCT = "PUNCT"
+PARAM = "PARAM"
 EOF = "EOF"
 
 #: Multi- and single-character operators, longest first.
@@ -95,8 +97,9 @@ def tokenize(sql) -> List[Token]:
             tokens.append(token)
             continue
 
-        if char.isdigit() or (char == "." and index + 1 < length
-                              and text[index + 1].isdigit()):
+        if char.isdigit() or (
+            char == "." and index + 1 < length and text[index + 1].isdigit()
+        ):
             token, index = _read_number(sql, text, index)
             tokens.append(token)
             continue
@@ -104,6 +107,18 @@ def tokenize(sql) -> List[Token]:
         if char.isalpha() or char == "_" or char == "`":
             token, index = _read_word(sql, text, index)
             tokens.append(token)
+            continue
+
+        if char == ":":
+            start = index
+            index += 1
+            while index < length and (text[index].isalnum() or text[index] == "_"):
+                index += 1
+            if index == start + 1:
+                raise SQLError(
+                    f"expected parameter name after ':' at position {start}")
+            tokens.append(Token(PARAM, text[start + 1:index],
+                                sql[start:index], start, index))
             continue
 
         matched_op: Optional[str] = None
@@ -161,8 +176,9 @@ def _read_string(sql: TaintedStr, text: str, index: int):
 def _read_number(sql: TaintedStr, text: str, index: int):
     start = index
     seen_dot = False
-    while index < len(text) and (text[index].isdigit()
-                                 or (text[index] == "." and not seen_dot)):
+    while index < len(text) and (
+        text[index].isdigit() or (text[index] == "." and not seen_dot)
+    ):
         if text[index] == ".":
             seen_dot = True
         index += 1

@@ -30,6 +30,7 @@ from ..fs import path as fspath
 from ..fs.resinfs import FILTER_XATTR, POLICY_XATTR
 from ..sql import nodes
 from ..sql.engine import Engine, Table
+from ..sql.indexes import SecondaryIndex
 from .snapshot import deserialize_filter
 from .wal import decode_value
 
@@ -96,10 +97,16 @@ def _sql_table(record, engine: Engine) -> Table:
 def _sql_insert(record, engine: Engine, fs, tolerant) -> None:
     table = _sql_table(record, engine)
     names = record["columns"]
+    first = len(table.rows)
     for values in record["rows"]:
         row = {name: None for name in table.column_names}
         row.update(zip(names, (decode_value(v) for v in values)))
         table.rows.append(row)
+    # Mirror the engine's live maintenance: appended rows enter the
+    # secondary indexes incrementally (positions only grow on insert).
+    for index in table.indexes.values():
+        for position in range(first, len(table.rows)):
+            index.add_row(position, table.rows[position])
 
 
 def _sql_update(record, engine: Engine, fs, tolerant) -> None:
@@ -112,6 +119,7 @@ def _sql_update(record, engine: Engine, fs, tolerant) -> None:
                 f"{table.name!r}"
             )
         table.rows[index].update(zip(names, (decode_value(v) for v in values)))
+    _rebuild_indexes(table)
 
 
 def _sql_delete(record, engine: Engine, fs, tolerant) -> None:
@@ -120,6 +128,37 @@ def _sql_delete(record, engine: Engine, fs, tolerant) -> None:
     table.rows = [
         row for index, row in enumerate(table.rows) if index not in doomed
     ]
+    _rebuild_indexes(table)
+
+
+def _rebuild_indexes(table: Table) -> None:
+    for index in table.indexes.values():
+        index.rebuild(table.rows)
+
+
+def _sql_create_index(record, engine: Engine, fs, tolerant) -> None:
+    # The WAL stores only the index *definition*; the contents are derived
+    # state, rebuilt here from the rows recovered so far (and maintained by
+    # the replay handlers above for the records that follow).
+    table = engine.tables.get(record["table"])
+    if table is None:
+        if tolerant:
+            return
+        raise SerializationError(
+            f"WAL references unknown table {record['table']!r}"
+        )
+    name = record["index"]
+    index = SecondaryIndex(
+        name, record["table"], record["column"], record.get("kind", "sorted")
+    )
+    index.rebuild(table.rows)
+    table.indexes[name] = index
+
+
+def _sql_drop_index(record, engine: Engine, fs, tolerant) -> None:
+    table = engine.tables.get(record.get("table", ""))
+    if table is not None:
+        table.indexes.pop(record["index"], None)
 
 
 # -- filesystem records -------------------------------------------------------
@@ -203,6 +242,8 @@ _HANDLERS = {
     "sql.insert": _sql_insert,
     "sql.update": _sql_update,
     "sql.delete": _sql_delete,
+    "sql.create_index": _sql_create_index,
+    "sql.drop_index": _sql_drop_index,
     "fs.write": _fs_write,
     "fs.mkdir": _fs_mkdir,
     "fs.unlink": _fs_unlink,

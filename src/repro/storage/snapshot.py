@@ -34,6 +34,7 @@ from ..fs import path as fspath
 from ..fs.filesystem import FileSystem, Inode
 from ..sql import nodes
 from ..sql.engine import Engine, Table
+from ..sql.indexes import SecondaryIndex
 from .wal import decode_records, decode_value, encode_record, encode_value
 
 __all__ = [
@@ -165,7 +166,15 @@ def _snapshot_table(table: Table) -> Dict[str, Any]:
     columns = [[c.name, c.type, list(c.constraints)] for c in table.columns]
     names = list(table.column_names)
     rows = [[encode_value(row.get(name)) for name in names] for row in table.rows]
-    return {"name": table.name, "columns": columns, "rows": rows}
+    doc = {"name": table.name, "columns": columns, "rows": rows}
+    if table.indexes:
+        # Definitions only — index contents are derived state, rebuilt from
+        # the restored rows (matching the WAL's create_index records).
+        doc["indexes"] = [
+            [index.name, index.column, index.kind]
+            for index in sorted(table.indexes.values(), key=lambda i: i.name)
+        ]
+    return doc
 
 
 def _snapshot_xattrs(inode: Inode) -> Dict[str, Any]:
@@ -234,6 +243,10 @@ def restore_snapshot(
             {name: decode_value(value) for name, value in zip(names, row)}
             for row in spec["rows"]
         ]
+        for index_name, column, kind in spec.get("indexes", []):
+            index = SecondaryIndex(index_name, table.name, column, kind)
+            index.rebuild(table.rows)
+            table.indexes[index_name] = index
         engine.tables[table.name] = table
 
     fs.root = Inode("dir", "/")

@@ -56,13 +56,13 @@ class TestSQLRoundTrips:
     @settings(max_examples=40)
     def test_where_filters_match_python_semantics(self, values):
         engine = Engine()
-        engine.execute("CREATE TABLE n (v INTEGER)")
+        engine.run("CREATE TABLE n (v INTEGER)")
         for value in values:
-            engine.execute(f"INSERT INTO n (v) VALUES ({value})")
-        result = engine.execute("SELECT v FROM n WHERE v >= 0")
+            engine.run(f"INSERT INTO n (v) VALUES ({value})")
+        result = engine.run("SELECT v FROM n WHERE v >= 0")
         assert sorted(r["v"] for r in result) == sorted(
             v for v in values if v >= 0)
-        count = engine.execute("SELECT COUNT(*) AS c FROM n WHERE v < 0")
+        count = engine.run("SELECT COUNT(*) AS c FROM n WHERE v < 0")
         assert count.scalar() == sum(1 for v in values if v < 0)
 
     @given(name=identifiers, columns=st.lists(identifiers, min_size=1,
@@ -70,12 +70,12 @@ class TestSQLRoundTrips:
     @settings(max_examples=40)
     def test_create_insert_select_star(self, name, columns):
         engine = Engine()
-        engine.execute(f"CREATE TABLE {name} ("
+        engine.run(f"CREATE TABLE {name} ("
                        + ", ".join(f"{c} TEXT" for c in columns) + ")")
-        engine.execute(
+        engine.run(
             f"INSERT INTO {name} ({', '.join(columns)}) VALUES ("
             + ", ".join(f"'{c}-value'" for c in columns) + ")")
-        result = engine.execute(f"SELECT * FROM {name}")
+        result = engine.run(f"SELECT * FROM {name}")
         assert result.columns == columns
         assert [str(v) for v in result.rows[0].values_list()] == \
             [f"{c}-value" for c in columns]

@@ -20,10 +20,10 @@ class TestLockRegistry:
 
     def test_lock_identity_survives_drop_and_recreate(self):
         engine = Engine()
-        engine.execute("CREATE TABLE t (id INTEGER)")
+        engine.run("CREATE TABLE t (id INTEGER)")
         lock = engine.table_lock("t")
-        engine.execute("DROP TABLE t")
-        engine.execute("CREATE TABLE t (id INTEGER)")
+        engine.run("DROP TABLE t")
+        engine.run("CREATE TABLE t (id INTEGER)")
         assert engine.table_lock("t") is lock
 
     def test_statement_tables(self):
@@ -37,11 +37,11 @@ class TestLockRegistry:
 
     def test_locked_is_reentrant(self):
         engine = Engine()
-        engine.execute("CREATE TABLE t (id INTEGER)")
+        engine.run("CREATE TABLE t (id INTEGER)")
         with engine.locked("t"):
             with engine.locked("t"):
-                engine.execute("INSERT INTO t (id) VALUES (1)")
-            assert engine.execute("SELECT id FROM t").scalar() == 1
+                engine.run("INSERT INTO t (id) VALUES (1)")
+            assert engine.run("SELECT id FROM t").scalar() == 1
 
     def test_locked_handles_duplicate_and_unknown_names(self):
         engine = Engine()
@@ -50,7 +50,7 @@ class TestLockRegistry:
         with engine.locked("x", "x", "y"):
             pass
         with pytest.raises(SQLError):
-            engine.execute("SELECT * FROM x")
+            engine.run("SELECT * FROM x")
 
 
 class TestLockOrdering:
@@ -103,12 +103,12 @@ class TestLockOrdering:
         """The catalog lock is innermost and brief: holding one table's lock
         never blocks CREATE/DROP of a *different* table."""
         engine = Engine()
-        engine.execute("CREATE TABLE held (id INTEGER)")
+        engine.run("CREATE TABLE held (id INTEGER)")
         done = threading.Event()
 
         def ddl():
-            engine.execute("CREATE TABLE other (id INTEGER)")
-            engine.execute("DROP TABLE other")
+            engine.run("CREATE TABLE other (id INTEGER)")
+            engine.run("DROP TABLE other")
             done.set()
 
         with engine.locked("held"):

@@ -153,49 +153,49 @@ class TestEngine:
     @pytest.fixture
     def engine(self):
         engine = Engine()
-        engine.execute("CREATE TABLE users (id INTEGER, name TEXT, age INTEGER)")
-        engine.execute("INSERT INTO users (id, name, age) VALUES "
+        engine.run("CREATE TABLE users (id INTEGER, name TEXT, age INTEGER)")
+        engine.run("INSERT INTO users (id, name, age) VALUES "
                        "(1, 'alice', 30), (2, 'bob', 25), (3, 'carol', 35)")
         return engine
 
     def test_select_all(self, engine):
-        result = engine.execute("SELECT * FROM users")
+        result = engine.run("SELECT * FROM users")
         assert len(result) == 3
         assert result.columns == ["id", "name", "age"]
 
     def test_select_where(self, engine):
-        result = engine.execute("SELECT name FROM users WHERE age > 26")
+        result = engine.run("SELECT name FROM users WHERE age > 26")
         assert sorted(str(r["name"]) for r in result) == ["alice", "carol"]
 
     def test_select_order_and_limit(self, engine):
-        result = engine.execute(
+        result = engine.run(
             "SELECT name FROM users ORDER BY age DESC LIMIT 2")
         assert [str(r["name"]) for r in result] == ["carol", "alice"]
 
     def test_select_offset(self, engine):
-        result = engine.execute(
+        result = engine.run(
             "SELECT name FROM users ORDER BY age ASC LIMIT 2 OFFSET 1")
         assert [str(r["name"]) for r in result] == ["alice", "carol"]
 
     def test_like(self, engine):
-        result = engine.execute("SELECT name FROM users WHERE name LIKE 'a%'")
+        result = engine.run("SELECT name FROM users WHERE name LIKE 'a%'")
         assert [str(r["name"]) for r in result] == ["alice"]
 
     def test_in_and_not_in(self, engine):
-        assert len(engine.execute(
+        assert len(engine.run(
             "SELECT id FROM users WHERE id IN (1, 3)")) == 2
-        assert len(engine.execute(
+        assert len(engine.run(
             "SELECT id FROM users WHERE id NOT IN (1, 3)")) == 1
 
     def test_is_null(self, engine):
-        engine.execute("INSERT INTO users (id, name) VALUES (4, 'dave')")
-        assert len(engine.execute(
+        engine.run("INSERT INTO users (id, name) VALUES (4, 'dave')")
+        assert len(engine.run(
             "SELECT id FROM users WHERE age IS NULL")) == 1
-        assert len(engine.execute(
+        assert len(engine.run(
             "SELECT id FROM users WHERE age IS NOT NULL")) == 3
 
     def test_aggregates(self, engine):
-        result = engine.execute(
+        result = engine.run(
             "SELECT COUNT(*) AS n, MIN(age) AS lo, MAX(age) AS hi, "
             "AVG(age) AS mean, SUM(age) AS total FROM users")
         row = result.rows[0]
@@ -203,63 +203,63 @@ class TestEngine:
         assert row["total"] == 90 and row["mean"] == 30
 
     def test_scalar_functions(self, engine):
-        row = engine.execute(
+        row = engine.run(
             "SELECT UPPER(name) AS u, LENGTH(name) AS l FROM users "
             "WHERE id = 1").rows[0]
         assert row["u"] == "ALICE" and row["l"] == 5
 
     def test_distinct(self, engine):
-        engine.execute("INSERT INTO users (id, name, age) VALUES (5, 'alice', 30)")
-        assert len(engine.execute("SELECT name FROM users")) == 4
-        assert len(engine.execute("SELECT DISTINCT name FROM users")) == 3
+        engine.run("INSERT INTO users (id, name, age) VALUES (5, 'alice', 30)")
+        assert len(engine.run("SELECT name FROM users")) == 4
+        assert len(engine.run("SELECT DISTINCT name FROM users")) == 3
 
     def test_update(self, engine):
-        count = engine.execute(
+        count = engine.run(
             "UPDATE users SET age = 31 WHERE name = 'alice'").rowcount
         assert count == 1
-        assert engine.execute(
+        assert engine.run(
             "SELECT age FROM users WHERE name = 'alice'").scalar() == 31
 
     def test_delete(self, engine):
-        assert engine.execute("DELETE FROM users WHERE age < 30").rowcount == 1
-        assert len(engine.execute("SELECT * FROM users")) == 2
+        assert engine.run("DELETE FROM users WHERE age < 30").rowcount == 1
+        assert len(engine.run("SELECT * FROM users")) == 2
 
     def test_drop_and_missing_table(self, engine):
-        engine.execute("DROP TABLE users")
+        engine.run("DROP TABLE users")
         with pytest.raises(SQLError):
-            engine.execute("SELECT * FROM users")
-        engine.execute("DROP TABLE IF EXISTS users")
+            engine.run("SELECT * FROM users")
+        engine.run("DROP TABLE IF EXISTS users")
 
     def test_create_duplicate_table(self, engine):
         with pytest.raises(SQLError):
-            engine.execute("CREATE TABLE users (x TEXT)")
-        engine.execute("CREATE TABLE IF NOT EXISTS users (x TEXT)")
+            engine.run("CREATE TABLE users (x TEXT)")
+        engine.run("CREATE TABLE IF NOT EXISTS users (x TEXT)")
 
     def test_insert_unknown_column(self, engine):
         with pytest.raises(SQLError):
-            engine.execute("INSERT INTO users (nope) VALUES (1)")
+            engine.run("INSERT INTO users (nope) VALUES (1)")
 
     def test_select_unknown_column(self, engine):
         with pytest.raises(SQLError):
-            engine.execute("SELECT nope FROM users WHERE nope = 1")
+            engine.run("SELECT nope FROM users WHERE nope = 1")
 
     def test_select_without_from(self):
-        result = Engine().execute("SELECT 1 AS one, 'x' AS label")
+        result = Engine().run("SELECT 1 AS one, 'x' AS label")
         assert result.rows[0]["one"] == 1
 
     def test_classic_injection_widens_result(self, engine):
         # The substrate behaves like a real database: a ' OR '1'='1 payload
         # really does return every row, which is what the guard must stop.
-        result = engine.execute(
+        result = engine.run(
             "SELECT name FROM users WHERE name = 'x' OR '1'='1'")
         assert len(result) == 3
 
     def test_result_row_positional_access(self, engine):
-        row = engine.execute("SELECT id, name FROM users WHERE id = 1").rows[0]
+        row = engine.run("SELECT id, name FROM users WHERE id = 1").rows[0]
         assert row[0] == 1 and str(row[1]) == "alice"
         assert row.values_list() == [1, "alice"]
 
     def test_null_comparisons_are_false(self, engine):
-        engine.execute("INSERT INTO users (id, name) VALUES (9, 'nil')")
-        assert len(engine.execute(
+        engine.run("INSERT INTO users (id, name) VALUES (9, 'nil')")
+        assert len(engine.run(
             "SELECT id FROM users WHERE age = 30 AND name = 'nil'")) == 0
