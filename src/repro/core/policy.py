@@ -36,6 +36,14 @@ class Policy:
     #: to get drop-on-merge semantics without overriding :meth:`merge`.
     merge_strategy = "union"
 
+    #: Merge results for policy sets containing this policy may be memoized
+    #: per interned ``(left, right)`` pair (:mod:`repro.tracking.merge`).
+    #: This is sound whenever :meth:`merge` is a pure function of the two
+    #: policy sets — true for the stock strategies and for any value-object
+    #: merge.  A policy whose ``merge`` consults outside state (time, a
+    #: request context, a counter) must set this to ``False`` to opt out.
+    merge_cacheable = True
+
     def export_check(self, context: Mapping[str, Any]) -> None:
         """Check whether the annotated data may cross a boundary.
 

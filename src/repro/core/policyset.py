@@ -4,10 +4,22 @@ A datum may carry several policies at once (one per data flow assertion that
 cares about it), collected in its *policy set* (Section 3.4).  ``PolicySet``
 is an immutable, hashable container so that the character-range machinery in
 :mod:`repro.tracking` can share and compare policy sets cheaply.
+
+Policy sets are **hash-consed**: construction interns every set in a
+process-wide weak table keyed by its frozen policy identity, so two sets
+built from equal policies are the *same object*.  Identical provenance is
+therefore pointer equality, which the taint hot path exploits: range-map
+coalescing compares interned sets by identity first, and the merge protocol
+(:mod:`repro.tracking.merge`) memoizes results per ``(left, right)``
+interned pair.  Deserialization rehydrates to the interned instance for the
+same reason.  The table holds only weak references — sets no live value
+points at are collected normally.
 """
 
 from __future__ import annotations
 
+import threading
+import weakref
 from typing import Iterable, Iterator, Optional, Tuple, Type
 
 from .policy import Policy, validate_policies
@@ -24,18 +36,56 @@ def _sort_key(policy: Policy) -> Tuple[str, str]:
 
 
 class PolicySet:
-    """An immutable set of :class:`~repro.core.policy.Policy` objects."""
+    """An immutable, interned set of :class:`~repro.core.policy.Policy`
+    objects.
 
-    __slots__ = ("_policies", "_hash")
+    ``PolicySet(policies)`` returns the one canonical instance for that
+    collection of policies: equal sets are identical (``a == b`` implies
+    ``a is b``).  All state is built in :meth:`__new__`; ``__init__`` is a
+    no-op so an interned hit is returned untouched.
+    """
 
-    def __init__(self, policies: Iterable[Policy] = ()):
+    __slots__ = ("_policies", "_hash", "_merge_profile", "_merge_cacheable",
+                 "__weakref__")
+
+    #: Process-wide intern table: frozenset of policies -> canonical set.
+    _intern_table: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+    _intern_lock = threading.Lock()
+
+    def __new__(cls, policies: Iterable[Policy] = ()):
         validated = validate_policies(policies)
         if len(validated) > 1:
-            self._policies: Tuple[Policy, ...] = tuple(
+            ordered: Tuple[Policy, ...] = tuple(
                 sorted(validated, key=_sort_key))
         else:  # nothing to order — the overwhelmingly common case
-            self._policies = tuple(validated)
+            ordered = tuple(validated)
+        if cls is not PolicySet:
+            # Subclasses opt out of interning (identity would otherwise be
+            # shared across classes); none exist in-tree.
+            self = super().__new__(cls)
+            self._init_state(ordered)
+            return self
+        key = frozenset(ordered)
+        table = PolicySet._intern_table
+        with PolicySet._intern_lock:
+            existing = table.get(key)
+            if existing is not None:
+                return existing
+            self = super().__new__(cls)
+            self._init_state(ordered)
+            table[key] = self
+            return self
+
+    def __init__(self, policies: Iterable[Policy] = ()):
+        # All state is built in __new__ so that interned instances are
+        # returned as-is; re-running initialization here would clobber them.
+        pass
+
+    def _init_state(self, ordered: Tuple[Policy, ...]) -> None:
+        self._policies = ordered
         self._hash: Optional[int] = None
+        self._merge_profile: Optional[str] = None
+        self._merge_cacheable: Optional[bool] = None
 
     # -- factory helpers ---------------------------------------------------
 
@@ -62,12 +112,23 @@ class PolicySet:
         return PolicySet(p for p in self._policies if p != policy)
 
     def union(self, other: Iterable[Policy]) -> "PolicySet":
-        extra = tuple(other)
-        if not extra:
+        if other is self:
             return self
-        if not self._policies and isinstance(other, PolicySet):
-            return other
-        return PolicySet(self._policies + extra)
+        if isinstance(other, PolicySet):
+            extra = other._policies
+            if not extra:
+                return self
+            if not self._policies:
+                return other
+        else:
+            extra = tuple(other)
+            if not extra:
+                return self
+        mine = self._policies
+        fresh = tuple(p for p in extra if p not in mine)
+        if not fresh:
+            return self
+        return PolicySet(mine + fresh)
 
     def intersection(self, other: Iterable[Policy]) -> "PolicySet":
         other_set = set(other)
@@ -94,6 +155,45 @@ class PolicySet:
     def has_type(self, policy_type: Type[Policy]) -> bool:
         return any(isinstance(p, policy_type) for p in self._policies)
 
+    # -- merge-protocol introspection (used by repro.tracking.merge) --------
+
+    def merge_profile(self) -> str:
+        """How this set behaves under the merge protocol.
+
+        * ``"union"`` — every policy uses the stock ``Policy.merge`` with the
+          ``"union"`` strategy: merging never drops or invents policies.
+        * ``"default"`` — stock ``Policy.merge`` throughout, but at least one
+          policy uses ``"intersect"``.
+        * ``"custom"`` — an overridden ``merge`` or any other strategy
+          (including ``"reject"``); no shortcut may skip the protocol.
+
+        Computed once per interned instance (value-object contract: policy
+        classes do not change their merge behaviour at runtime).
+        """
+        profile = self._merge_profile
+        if profile is None:
+            profile = "union"
+            for policy in self._policies:
+                if (type(policy).merge is not Policy.merge
+                        or policy.merge_strategy not in ("union",
+                                                         "intersect")):
+                    profile = "custom"
+                    break
+                if policy.merge_strategy == "intersect":
+                    profile = "default"
+            self._merge_profile = profile
+        return profile
+
+    def merge_cacheable(self) -> bool:
+        """True if every member opts into merge memoization
+        (``Policy.merge_cacheable``, default True)."""
+        cacheable = self._merge_cacheable
+        if cacheable is None:
+            cacheable = all(getattr(p, "merge_cacheable", True)
+                            for p in self._policies)
+            self._merge_cacheable = cacheable
+        return cacheable
+
     # -- container protocol -------------------------------------------------
 
     def __iter__(self) -> Iterator[Policy]:
@@ -109,6 +209,8 @@ class PolicySet:
         return policy in self._policies
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         if isinstance(other, PolicySet):
             return set(self._policies) == set(other._policies)
         if isinstance(other, (set, frozenset, tuple, list)):
@@ -123,6 +225,20 @@ class PolicySet:
     def __repr__(self) -> str:
         inner = ", ".join(repr(p) for p in self._policies)
         return f"PolicySet({{{inner}}})"
+
+    # -- copy / pickle safety ------------------------------------------------
+
+    # Interned value objects: copying must never produce a second live
+    # instance for the same policies (identity is the interning contract).
+
+    def __copy__(self) -> "PolicySet":
+        return self
+
+    def __deepcopy__(self, memo) -> "PolicySet":
+        return self
+
+    def __reduce__(self):
+        return (PolicySet, (tuple(self._policies),))
 
 
 _EMPTY = PolicySet()

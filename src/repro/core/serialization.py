@@ -212,6 +212,11 @@ def serialize_policyset(policies) -> List[Dict[str, Any]]:
 
 def deserialize_policyset(records: Iterable[Dict[str, Any]], *,
                           tolerant: bool = False) -> PolicySet:
+    """Rehydrate a policy set.  Construction interns (see
+    :mod:`repro.core.policyset`), so deserializing the same provenance twice
+    yields the *same* ``PolicySet`` instance — xattr and WAL recovery rebuild
+    pointer-equal sets, which keeps the identity fast paths and the merge
+    memo cache effective across restarts."""
     return PolicySet(deserialize_policy(r, tolerant=tolerant)
                      for r in records)
 

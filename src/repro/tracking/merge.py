@@ -5,14 +5,42 @@ elements in ways that cannot be attributed to individual characters — integer
 addition, hashing, checksums (Section 3.4.2).  For those, RESIN invokes each
 policy's ``merge`` method, passing the other operand's entire policy set, and
 labels the result with the union of everything the merge methods return.
+
+Because policy sets are hash-consed (:mod:`repro.core.policyset`), a merge is
+a pure function of two *interned* operands, which enables three hot-path
+shortcuts, applied in order:
+
+1. **Same-set fast path** — ``merge(s, s)`` of a set whose members all use
+   the stock merge protocol is ``s`` itself: every ``"union"`` policy keeps
+   itself, and every ``"intersect"`` policy finds its own class on the other
+   side.  No per-policy calls happen at all.
+2. **Empty-operand fast path** — merging with the empty set returns the
+   other operand verbatim when that operand's profile is pure-``"union"``
+   (an ``"intersect"`` policy would be dropped, so it takes the slow path).
+3. **Memo cache** — results for hot ``(left, right)`` interned pairs are
+   kept in a bounded LRU table.  Policies whose ``merge`` is impure opt out
+   with ``merge_cacheable = False``; a :class:`~repro.core.exceptions.
+   MergeError` veto is never cached (it re-raises deterministically anyway).
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+import threading
+from collections import OrderedDict
+from typing import Iterable, Tuple
 
 from ..core.policy import Policy
 from ..core.policyset import PolicySet, as_policyset
+
+#: Upper bound on memoized ``(left, right)`` merge results.  The cache keys
+#: hold strong references to the interned operands, so the bound also bounds
+#: how many hot sets the cache pins in memory.
+MERGE_CACHE_SIZE = 1024
+
+_merge_cache: "OrderedDict[Tuple[PolicySet, PolicySet], PolicySet]" = OrderedDict()
+_merge_cache_lock = threading.Lock()
+_merge_cache_hits = 0
+_merge_cache_misses = 0
 
 
 def merge_policysets(left, right) -> PolicySet:
@@ -21,12 +49,49 @@ def merge_policysets(left, right) -> PolicySet:
     For every policy ``p`` of each operand, call ``p.merge(other_operand)``;
     the result is the union of all returned policies.  A policy may raise
     :class:`~repro.core.exceptions.MergeError` to veto the merge entirely.
+
+    Interned-set fast paths and a bounded memo cache (see the module
+    docstring) make repeated merges of the same provenance O(1) without
+    changing any verdict.
     """
     left = as_policyset(left)
     right = as_policyset(right)
     if not left and not right:
         return PolicySet.empty()
 
+    if left is right:
+        if left.merge_profile() != "custom":
+            return left
+    elif not left:
+        if right.merge_profile() == "union":
+            return right
+    elif not right:
+        if left.merge_profile() == "union":
+            return left
+
+    if left.merge_cacheable() and right.merge_cacheable():
+        global _merge_cache_hits, _merge_cache_misses
+        key = (left, right)
+        with _merge_cache_lock:
+            cached = _merge_cache.get(key)
+            if cached is not None:
+                _merge_cache.move_to_end(key)
+                _merge_cache_hits += 1
+                return cached
+            _merge_cache_misses += 1
+        result = _merge_uncached(left, right)
+        with _merge_cache_lock:
+            _merge_cache[key] = result
+            _merge_cache.move_to_end(key)
+            while len(_merge_cache) > MERGE_CACHE_SIZE:
+                _merge_cache.popitem(last=False)
+        return result
+
+    return _merge_uncached(left, right)
+
+
+def _merge_uncached(left: PolicySet, right: PolicySet) -> PolicySet:
+    """The full per-policy merge protocol, no shortcuts."""
     result: PolicySet = PolicySet.empty()
     for policy in left:
         result = result.union(_as_policies(policy.merge(right)))
@@ -36,14 +101,37 @@ def merge_policysets(left, right) -> PolicySet:
 
 
 def merge_many(policysets: Iterable) -> PolicySet:
-    """Fold :func:`merge_policysets` over several operands."""
-    sets = [as_policyset(p) for p in policysets]
-    if not sets:
-        return PolicySet.empty()
-    result = sets[0]
-    for other in sets[1:]:
-        result = merge_policysets(result, other)
-    return result
+    """Fold :func:`merge_policysets` over several operands.
+
+    Streams through the operands without materializing them, so a fold over
+    ``n`` operands sharing interned provenance costs ``n`` fast-path (or
+    memo-hit) merges instead of ``n`` fresh set constructions.
+    """
+    result = None
+    for pset in policysets:
+        pset = as_policyset(pset)
+        result = pset if result is None else merge_policysets(result, pset)
+    return PolicySet.empty() if result is None else result
+
+
+def merge_cache_info() -> dict:
+    """Hits/misses/size of the merge memo cache (for tests and benchmarks)."""
+    with _merge_cache_lock:
+        return {
+            "hits": _merge_cache_hits,
+            "misses": _merge_cache_misses,
+            "size": len(_merge_cache),
+            "maxsize": MERGE_CACHE_SIZE,
+        }
+
+
+def clear_merge_cache() -> None:
+    """Drop every memoized merge result (and reset the hit/miss counters)."""
+    global _merge_cache_hits, _merge_cache_misses
+    with _merge_cache_lock:
+        _merge_cache.clear()
+        _merge_cache_hits = 0
+        _merge_cache_misses = 0
 
 
 def _as_policies(value) -> Iterable[Policy]:

@@ -11,15 +11,21 @@ from __future__ import annotations
 from typing import Any
 
 from ..core.policyset import PolicySet, as_policyset
-from .merge import merge_policysets
+from .merge import merge_many
 from .ranges import RangeMap
 from .tainted_bytes import TaintedBytes
 from .tainted_number import TaintedFloat, TaintedInt
 from .tainted_str import TaintedStr
 
 __all__ = [
-    "policies_of", "to_tainted_str", "concat", "interpolate", "stringify",
-    "merge_values", "spread_policies", "strip_policies",
+    "policies_of",
+    "to_tainted_str",
+    "concat",
+    "interpolate",
+    "stringify",
+    "merge_values",
+    "spread_policies",
+    "strip_policies",
 ]
 
 
@@ -84,16 +90,7 @@ def interpolate(template: str, *args: Any, **kwargs: Any) -> TaintedStr:
 def merge_values(*values: Any) -> PolicySet:
     """Merged policy set for a value computed from all of ``values`` in a way
     that cannot be tracked per character (checksums, hashes, aggregation)."""
-    result = PolicySet.empty()
-    first = True
-    for value in values:
-        pset = policies_of(value)
-        if first:
-            result = pset
-            first = False
-        else:
-            result = merge_policysets(result, pset)
-    return result
+    return merge_many(policies_of(value) for value in values)
 
 
 def spread_policies(text: str, policies) -> TaintedStr:

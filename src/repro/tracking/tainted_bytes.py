@@ -25,8 +25,9 @@ def rangemap_of_bytes(value) -> RangeMap:
     raise TypeError(f"expected bytes, got {type(value).__name__}")
 
 
-def taint_bytes(value: bytes, policies=None,
-                rangemap: Optional[RangeMap] = None) -> "TaintedBytes":
+def taint_bytes(
+    value: bytes, policies=None, rangemap: Optional[RangeMap] = None
+) -> "TaintedBytes":
     if rangemap is None:
         rangemap = rangemap_of_bytes(value)
         for policy in as_policyset(policies):
@@ -36,7 +37,6 @@ def taint_bytes(value: bytes, policies=None,
 
 class TaintedBytes(bytes):
     """A bytes object carrying per-byte policy sets."""
-
 
     def __new__(cls, value: bytes = b"", rangemap: Optional[RangeMap] = None):
         self = super().__new__(cls, value)
@@ -67,17 +67,16 @@ class TaintedBytes(bytes):
             return self._rangemap.every_position_has(policy_type)
         return self._rangemap.all_policies().has_type(policy_type)
 
-    def with_policy(self, policy: Policy, start: int = 0,
-                    stop: Optional[int] = None) -> "TaintedBytes":
-        return TaintedBytes(bytes(self),
-                            self._rangemap.add_policy(policy, start, stop))
+    def with_policy(
+        self, policy: Policy, start: int = 0, stop: Optional[int] = None
+    ) -> "TaintedBytes":
+        return TaintedBytes(bytes(self), self._rangemap.add_policy(policy, start, stop))
 
     def without_policy(self, policy: Policy) -> "TaintedBytes":
         return TaintedBytes(bytes(self), self._rangemap.remove_policy(policy))
 
     def without_policy_type(self, policy_type) -> "TaintedBytes":
-        return TaintedBytes(bytes(self),
-                            self._rangemap.remove_policy_type(policy_type))
+        return TaintedBytes(bytes(self), self._rangemap.remove_policy_type(policy_type))
 
     def plain(self) -> bytes:
         return bytes(self)
@@ -88,21 +87,18 @@ class TaintedBytes(bytes):
         if not isinstance(other, (bytes, bytearray)):
             return NotImplemented
         raw = bytes.__add__(self, bytes(other))
-        return TaintedBytes(raw,
-                            self._rangemap.concat(rangemap_of_bytes(other)))
+        return TaintedBytes(raw, self._rangemap.concat(rangemap_of_bytes(other)))
 
     def __radd__(self, other):
         if not isinstance(other, (bytes, bytearray)):
             return NotImplemented
         raw = bytes(other) + bytes(self)
-        return TaintedBytes(raw,
-                            rangemap_of_bytes(other).concat(self._rangemap))
+        return TaintedBytes(raw, rangemap_of_bytes(other).concat(self._rangemap))
 
     def __mul__(self, count):
         if not isinstance(count, int):
             return NotImplemented
-        return TaintedBytes(bytes.__mul__(self, count),
-                            self._rangemap.repeat(count))
+        return TaintedBytes(bytes.__mul__(self, count), self._rangemap.repeat(count))
 
     __rmul__ = __mul__
 
@@ -120,6 +116,7 @@ class TaintedBytes(bytes):
 
     def decode(self, encoding: str = "utf-8", errors: str = "strict"):
         from .tainted_str import TaintedStr
+
         text = bytes.decode(self, encoding, errors)
         if self._rangemap.is_empty():
             return TaintedStr(text)
@@ -132,8 +129,7 @@ class TaintedBytes(bytes):
             pset = PolicySet.empty()
             for offset in range(len(encoded)):
                 if byte_index + offset < len(self):
-                    pset = pset.union(
-                        self._rangemap.policies_at(byte_index + offset))
+                    pset = pset.union(self._rangemap.policies_at(byte_index + offset))
             if pset:
                 segments.append(PolicyRange(char_index, char_index + 1, pset))
             byte_index += len(encoded)
@@ -141,15 +137,17 @@ class TaintedBytes(bytes):
         return TaintedStr(text, RangeMap(len(text), segments))
 
     def join(self, iterable):
-        items = [item if isinstance(item, TaintedBytes) else TaintedBytes(item)
-                 for item in iterable]
+        items = [
+            item if isinstance(item, TaintedBytes) else TaintedBytes(item)
+            for item in iterable
+        ]
         raw = bytes(self).join(bytes(item) for item in items)
-        rmap = RangeMap.empty(0)
+        pieces: List[RangeMap] = []
         for index, item in enumerate(items):
             if index:
-                rmap = rmap.concat(self._rangemap)
-            rmap = rmap.concat(item.rangemap)
-        return TaintedBytes(raw, rmap)
+                pieces.append(self._rangemap)
+            pieces.append(item.rangemap)
+        return TaintedBytes(raw, RangeMap.concat_many(pieces))
 
     def split(self, sep=None, maxsplit: int = -1):
         parts = bytes.split(self, sep, maxsplit)
@@ -157,7 +155,7 @@ class TaintedBytes(bytes):
         cursor = 0
         for part in parts:
             found = bytes.find(self, part, cursor) if part else cursor
-            located.append(self[found:found + len(part)])
+            located.append(self[found : found + len(part)])
             cursor = found + len(part)
         return located
 

@@ -14,10 +14,15 @@ from typing import Optional
 
 from ..core.policy import Policy
 from ..core.policyset import PolicySet, as_policyset
-from .merge import merge_policysets
+from .merge import merge_many
 
-__all__ = ["TaintedInt", "TaintedFloat", "taint_int", "taint_float",
-           "policies_of_number"]
+__all__ = [
+    "TaintedInt",
+    "TaintedFloat",
+    "taint_int",
+    "taint_float",
+    "policies_of_number",
+]
 
 
 def policies_of_number(value) -> PolicySet:
@@ -35,21 +40,22 @@ def taint_float(value: float, policies=None) -> "TaintedFloat":
     return TaintedFloat(value, as_policyset(policies))
 
 
+def _operand_policies(operand) -> PolicySet:
+    if isinstance(operand, str):
+        from .tainted_str import policies_of_str
+
+        return policies_of_str(operand)
+    return policies_of_number(operand)
+
+
 def _result_policies(*operands) -> PolicySet:
-    """Merge the policy sets of all operands pairwise."""
-    result = PolicySet.empty()
-    first = True
-    for operand in operands:
-        pset = policies_of_number(operand)
-        if isinstance(operand, str):
-            from .tainted_str import policies_of_str
-            pset = policies_of_str(operand)
-        if first:
-            result = pset
-            first = False
-        else:
-            result = merge_policysets(result, pset)
-    return result
+    """Merge the policy sets of all operands pairwise.
+
+    ``merge_many`` streams through the interned-set fast paths, so the
+    common all-empty and shared-provenance cases never run the per-policy
+    merge protocol.
+    """
+    return merge_many(_operand_policies(operand) for operand in operands)
 
 
 class _TaintedNumberMixin:
@@ -98,8 +104,12 @@ def _binary(name):
         if base_op is None:  # pragma: no cover - defensive
             return NotImplemented
         result = base_op(self, other)
-        if (result is NotImplemented and isinstance(self, int)
-                and isinstance(other, float) and float_op is not None):
+        if (
+            result is NotImplemented
+            and isinstance(self, int)
+            and isinstance(other, float)
+            and float_op is not None
+        ):
             # Mixed int/float arithmetic: fall back to float semantics so the
             # policy still propagates (int.__add__ alone would defer to
             # float.__radd__ and drop the taint).
@@ -124,12 +134,32 @@ def _unary(name):
 
 
 _BINARY_METHODS = [
-    "__add__", "__radd__", "__sub__", "__rsub__", "__mul__", "__rmul__",
-    "__truediv__", "__rtruediv__", "__floordiv__", "__rfloordiv__",
-    "__mod__", "__rmod__", "__pow__", "__rpow__",
-    "__and__", "__rand__", "__or__", "__ror__", "__xor__", "__rxor__",
-    "__lshift__", "__rlshift__", "__rshift__", "__rrshift__",
-    "__divmod__", "__rdivmod__",
+    "__add__",
+    "__radd__",
+    "__sub__",
+    "__rsub__",
+    "__mul__",
+    "__rmul__",
+    "__truediv__",
+    "__rtruediv__",
+    "__floordiv__",
+    "__rfloordiv__",
+    "__mod__",
+    "__rmod__",
+    "__pow__",
+    "__rpow__",
+    "__and__",
+    "__rand__",
+    "__or__",
+    "__ror__",
+    "__xor__",
+    "__rxor__",
+    "__lshift__",
+    "__rlshift__",
+    "__rshift__",
+    "__rrshift__",
+    "__divmod__",
+    "__rdivmod__",
 ]
 
 _UNARY_METHODS = ["__neg__", "__pos__", "__abs__", "__invert__"]

@@ -20,12 +20,20 @@ Semantics (Section 3.4):
 
 ``TaintedStr`` compares and hashes exactly like the underlying ``str`` —
 policies never affect program logic, only boundary checks.
+
+Hot-path note: concatenation, slicing, and ``join`` build *lazy* range maps
+(rope nodes over the operands' maps, see :mod:`repro.tracking.ranges`), so a
+render loop that assembles a page out of thousands of pieces pays for policy
+bookkeeping only when something finally inspects the result — typically once,
+at the channel boundary.
 """
 
 from __future__ import annotations
+
 import re
 import string as _string_module
 from typing import Iterable, Iterator, List, Optional
+
 from ..core.policy import Policy
 from ..core.policyset import PolicySet, as_policyset
 from .ranges import PolicyRange, RangeMap
@@ -34,12 +42,13 @@ __all__ = ["TaintedStr", "taint_str", "rangemap_of", "policies_of_str"]
 
 
 _PERCENT_SPEC = re.compile(
-    r"%(?:\((?P<name>[^)]*)\))?"          # optional mapping key
-    r"[-+ #0]*"                            # flags
-    r"(?:\*|\d+)?"                         # width
-    r"(?:\.(?:\*|\d+))?"                   # precision
-    r"[hlL]?"                              # length (ignored)
-    r"(?P<conv>[diouxXeEfFgGcrsa%])")
+    r"%(?:\((?P<name>[^)]*)\))?"  # optional mapping key
+    r"[-+ #0]*"  # flags
+    r"(?:\*|\d+)?"  # width
+    r"(?:\.(?:\*|\d+))?"  # precision
+    r"[hlL]?"  # length (ignored)
+    r"(?P<conv>[diouxXeEfFgGcrsa%])"
+)
 
 
 def rangemap_of(value) -> RangeMap:
@@ -58,8 +67,9 @@ def policies_of_str(value) -> PolicySet:
     return PolicySet.empty()
 
 
-def taint_str(value: str, policies=None,
-              rangemap: Optional[RangeMap] = None) -> "TaintedStr":
+def taint_str(
+    value: str, policies=None, rangemap: Optional[RangeMap] = None
+) -> "TaintedStr":
     """Wrap ``value`` in a :class:`TaintedStr`.
 
     ``policies`` (a policy, an iterable of policies, or None) is applied to
@@ -78,7 +88,6 @@ def taint_str(value: str, policies=None,
 class TaintedStr(str):
     """A string carrying per-character policy sets."""
 
-
     def __new__(cls, value: str = "", rangemap: Optional[RangeMap] = None):
         self = super().__new__(cls, value)
         if rangemap is None:
@@ -89,7 +98,8 @@ class TaintedStr(str):
         if rangemap.length != len(self):
             raise ValueError(
                 f"rangemap length {rangemap.length} does not match string "
-                f"length {len(self)}")
+                f"length {len(self)}"
+            )
         self._rangemap = rangemap
         return self
 
@@ -114,12 +124,12 @@ class TaintedStr(str):
             return self._rangemap.every_position_has(policy_type)
         return self._rangemap.all_policies().has_type(policy_type)
 
-    def with_policy(self, policy: Policy, start: int = 0,
-                    stop: Optional[int] = None) -> "TaintedStr":
+    def with_policy(
+        self, policy: Policy, start: int = 0, stop: Optional[int] = None
+    ) -> "TaintedStr":
         """Return a copy with ``policy`` attached to characters
         ``[start, stop)`` (the whole string by default)."""
-        return TaintedStr(str(self),
-                          self._rangemap.add_policy(policy, start, stop))
+        return TaintedStr(str(self), self._rangemap.add_policy(policy, start, stop))
 
     def without_policy(self, policy: Policy) -> "TaintedStr":
         """Return a copy with ``policy`` removed from every character."""
@@ -127,8 +137,7 @@ class TaintedStr(str):
 
     def without_policy_type(self, policy_type) -> "TaintedStr":
         """Return a copy with every policy of ``policy_type`` removed."""
-        return TaintedStr(str(self),
-                          self._rangemap.remove_policy_type(policy_type))
+        return TaintedStr(str(self), self._rangemap.remove_policy_type(policy_type))
 
     def plain(self) -> str:
         """The underlying plain string (policies dropped)."""
@@ -137,10 +146,8 @@ class TaintedStr(str):
     # -- internal helpers ------------------------------------------------------
 
     def _wrap(self, text: str, rangemap: RangeMap) -> "TaintedStr":
-        if rangemap.is_empty():
-            # No policies anywhere: a plain TaintedStr is still useful so that
-            # subsequent concatenations keep working, and is cheap.
-            return TaintedStr(text, RangeMap.empty(len(text)))
+        # Deliberately does not inspect the map: peeking (even is_empty())
+        # could force a lazy rope node and defeat O(1) concat/slice.
         return TaintedStr(text, rangemap)
 
     def _spread(self, text: str, extra: PolicySet = None) -> "TaintedStr":
@@ -215,14 +222,12 @@ class TaintedStr(str):
         return self._spread(str.expandtabs(self, tabsize))
 
     def strip(self, chars=None):
-        return self._strip_common(str.strip(self, chars),
-                                  str.lstrip(self, chars))
+        return self._strip_common(str.strip(self, chars), str.lstrip(self, chars))
 
     def lstrip(self, chars=None):
         stripped = str.lstrip(self, chars)
         start = len(self) - len(stripped)
-        return self._wrap(stripped,
-                          self._rangemap.slice(start, len(self)))
+        return self._wrap(stripped, self._rangemap.slice(start, len(self)))
 
     def rstrip(self, chars=None):
         stripped = str.rstrip(self, chars)
@@ -230,18 +235,17 @@ class TaintedStr(str):
 
     def removeprefix(self, prefix):
         if str.startswith(self, prefix):
-            return self[len(prefix):]
+            return self[len(prefix) :]
         return self[:]
 
     def removesuffix(self, suffix):
         if suffix and str.endswith(self, suffix):
-            return self[:len(self) - len(suffix)]
+            return self[: len(self) - len(suffix)]
         return self[:]
 
     def _strip_common(self, stripped: str, lstripped: str) -> "TaintedStr":
         start = len(self) - len(lstripped)
-        return self._wrap(stripped,
-                          self._rangemap.slice(start, start + len(stripped)))
+        return self._wrap(stripped, self._rangemap.slice(start, start + len(stripped)))
 
     def ljust(self, width, fillchar=" "):
         pad = max(0, width - len(self))
@@ -261,8 +265,7 @@ class TaintedStr(str):
         left = pad // 2 + (pad & width & 1)
         prefix = RangeMap.empty(left)
         suffix = RangeMap.empty(pad - left)
-        return self._wrap(text,
-                          prefix.concat(self._rangemap).concat(suffix))
+        return self._wrap(text, prefix.concat(self._rangemap).concat(suffix))
 
     def zfill(self, width):
         text = str.zfill(self, width)
@@ -271,9 +274,11 @@ class TaintedStr(str):
             return self[:]
         if self and self[0] in "+-":
             # sign stays first; zeros are inserted after it
-            rmap = (self._rangemap.slice(0, 1)
-                    .concat(RangeMap.empty(pad))
-                    .concat(self._rangemap.slice(1, len(self))))
+            rmap = (
+                self._rangemap.slice(0, 1)
+                .concat(RangeMap.empty(pad))
+                .concat(self._rangemap.slice(1, len(self)))
+            )
         else:
             rmap = RangeMap.empty(pad).concat(self._rangemap)
         return self._wrap(text, rmap)
@@ -315,8 +320,7 @@ class TaintedStr(str):
         return self._locate_parts(str.split(self, sep, maxsplit))
 
     def rsplit(self, sep=None, maxsplit: int = -1):
-        return self._locate_parts(str.rsplit(self, sep, maxsplit),
-                                  from_right=True)
+        return self._locate_parts(str.rsplit(self, sep, maxsplit), from_right=True)
 
     def splitlines(self, keepends: bool = False):
         return self._locate_parts(str.splitlines(self, keepends))
@@ -325,18 +329,17 @@ class TaintedStr(str):
         index = str.find(self, sep)
         if index < 0:
             return (self[:], type(self)(""), type(self)(""))
-        return (self[:index], self[index:index + len(sep)],
-                self[index + len(sep):])
+        return (self[:index], self[index : index + len(sep)], self[index + len(sep) :])
 
     def rpartition(self, sep):
         index = str.rfind(self, sep)
         if index < 0:
             return (type(self)(""), type(self)(""), self[:])
-        return (self[:index], self[index:index + len(sep)],
-                self[index + len(sep):])
+        return (self[:index], self[index : index + len(sep)], self[index + len(sep) :])
 
-    def _locate_parts(self, parts: List[str],
-                      from_right: bool = False) -> List["TaintedStr"]:
+    def _locate_parts(
+        self, parts: List[str], from_right: bool = False
+    ) -> List["TaintedStr"]:
         """Map each plain-string part back to its position in ``self`` and
         return the corresponding tainted slices.  Parts are guaranteed to
         occur in order (both split directions yield in-order parts)."""
@@ -347,7 +350,7 @@ class TaintedStr(str):
             if found < 0:  # pragma: no cover - defensive, should not happen
                 located.append(self._spread(part))
                 continue
-            located.append(self[found:found + len(part)])
+            located.append(self[found : found + len(part)])
             cursor = found + len(part)
         return located
 
@@ -398,7 +401,7 @@ class TaintedStr(str):
         arg_index = 0
         text = str(self)
         for match in _PERCENT_SPEC.finditer(text):
-            literal = self[cursor:match.start()]
+            literal = self[cursor : match.start()]
             if literal:
                 pieces.append(literal)
             conv = match.group("conv")
@@ -408,8 +411,9 @@ class TaintedStr(str):
                 spec = match.group(0)
                 if mapping:
                     value = args[match.group("name")]
-                    formatted = str.__mod__(spec.replace(
-                        f"({match.group('name')})", "", 1), (value,))
+                    formatted = str.__mod__(
+                        spec.replace(f"({match.group('name')})", "", 1), (value,)
+                    )
                 else:
                     value = args[arg_index]
                     arg_index += 1
@@ -417,10 +421,12 @@ class TaintedStr(str):
                 if isinstance(value, str) and conv == "s" and formatted == str(value):
                     pieces.append(_as_tainted(value))
                 else:
-                    pieces.append(TaintedStr(
-                        formatted,
-                        RangeMap.uniform(len(formatted),
-                                         policies_of_value(value))))
+                    pieces.append(
+                        TaintedStr(
+                            formatted,
+                            RangeMap.uniform(len(formatted), policies_of_value(value)),
+                        )
+                    )
             cursor = match.end()
         tail = self[cursor:]
         if tail:
@@ -430,32 +436,38 @@ class TaintedStr(str):
     def _spread_literal(self, literal: str) -> "TaintedStr":
         # Literal text of a format string carries the template's own policies
         # (usually none): templates are typically programmer-authored.
-        return TaintedStr(literal,
-                          RangeMap.uniform(len(literal),
-                                           self._rangemap.all_policies()))
+        return TaintedStr(
+            literal, RangeMap.uniform(len(literal), self._rangemap.all_policies())
+        )
 
     # -- conversions -----------------------------------------------------------------
 
     def encode(self, encoding: str = "utf-8", errors: str = "strict"):
         from .tainted_bytes import TaintedBytes
+
         raw = str.encode(self, encoding, errors)
         if self._rangemap.is_empty():
             return TaintedBytes(raw)
         ranges = self._rangemap.ranges
-        if (len(ranges) == 1 and ranges[0].start == 0
-                and ranges[0].stop == len(self)):
+        if len(ranges) == 1 and ranges[0].start == 0 and ranges[0].stop == len(self):
             # Fast path: a uniform policy over the whole string maps to a
             # uniform policy over all of its bytes, whatever the encoding.
-            return TaintedBytes(raw, RangeMap.uniform(len(raw),
-                                                      ranges[0].policies))
+            return TaintedBytes(raw, RangeMap.uniform(len(raw), ranges[0].policies))
+        # Encode per range segment: byte offsets are only needed at segment
+        # boundaries, so each policy-free gap and each tainted segment is one
+        # chunk — not one chunk per character.
         segments = []
-        offset = 0
-        for index in range(len(self)):
-            chunk = str.encode(str.__getitem__(self, index), encoding, errors)
-            pset = self._rangemap.policies_at(index)
-            if pset:
-                segments.append(PolicyRange(offset, offset + len(chunk), pset))
-            offset += len(chunk)
+        byte_start = 0
+        cursor = 0
+        text = str.__str__(self)
+        for rng in ranges:
+            if rng.start > cursor:
+                gap = str.encode(text[cursor : rng.start], encoding, errors)
+                byte_start += len(gap)
+            seg_len = len(str.encode(text[rng.start : rng.stop], encoding, errors))
+            segments.append(PolicyRange(byte_start, byte_start + seg_len, rng.policies))
+            byte_start += seg_len
+            cursor = rng.stop
         return TaintedBytes(raw, RangeMap(len(raw), segments))
 
     def __format__(self, spec):
@@ -476,6 +488,7 @@ def policies_of_value(value) -> PolicySet:
     """Best-effort policy set of an arbitrary Python value."""
     from .tainted_number import TaintedFloat, TaintedInt
     from .tainted_bytes import TaintedBytes
+
     if isinstance(value, TaintedStr):
         return value.policies()
     if isinstance(value, TaintedBytes):
@@ -496,15 +509,13 @@ def _as_tainted(value) -> TaintedStr:
 def _concat_all(pieces: Iterable[TaintedStr]) -> TaintedStr:
     pieces = list(pieces)
     text = "".join(str(p) for p in pieces)
-    rmap = RangeMap.empty(0)
-    for piece in pieces:
-        rmap = rmap.concat(rangemap_of(piece))
-    return TaintedStr(text, rmap)
+    return TaintedStr(text, RangeMap.concat_many(rangemap_of(p) for p in pieces))
 
 
 def _format_value(obj, spec: str) -> TaintedStr:
     formatted = format(obj, spec)
     if isinstance(obj, str) and formatted == str(obj):
         return _as_tainted(obj)
-    return TaintedStr(formatted,
-                      RangeMap.uniform(len(formatted), policies_of_value(obj)))
+    return TaintedStr(
+        formatted, RangeMap.uniform(len(formatted), policies_of_value(obj))
+    )

@@ -1,0 +1,151 @@
+"""Unit tests for the taint hot path: lazy ropes, interning, merge memo."""
+
+import sys
+
+from repro.core.policy import Policy
+from repro.core.policyset import PolicySet
+from repro.core.serialization import (
+    deserialize_policyset,
+    dumps_rangemap,
+    serialize_policyset,
+)
+from repro.policies import UntrustedData
+from repro.tracking import (
+    TaintedStr,
+    clear_merge_cache,
+    merge_cache_info,
+    merge_policysets,
+    taint_str,
+)
+from repro.tracking.ranges import PolicyRange, RangeMap
+
+P = UntrustedData("alice")
+
+
+class TestLazyRangeMap:
+    def test_concat_is_deferred_until_inspection(self):
+        left = RangeMap.uniform(4, PolicySet.of(P))
+        right = RangeMap.empty(3)
+        combined = left.concat(right)
+        assert not combined.is_materialized()
+        assert combined.length == 7
+        assert combined.policies_at(0) == {P}
+        assert combined.is_materialized()
+
+    def test_policy_free_concat_collapses_eagerly(self):
+        combined = RangeMap.empty(4).concat(RangeMap.empty(2))
+        assert combined.is_materialized()
+        assert combined.is_empty()
+
+    def test_tainted_concat_loop_stays_lazy(self):
+        piece = taint_str("ab", P)
+        out = TaintedStr("")
+        for _ in range(50):
+            out = out + piece + "plain"
+        assert not out.rangemap.is_materialized()
+        assert len(out.rangemap.ranges) == 50
+        assert out.rangemap.is_materialized()
+
+    def test_deep_chain_does_not_recurse(self):
+        piece = taint_str("x", P)
+        out = TaintedStr("")
+        depth = sys.getrecursionlimit() * 2
+        for _ in range(depth):
+            out = out + piece
+        assert out.rangemap.ranges == (PolicyRange(0, depth, PolicySet.of(P)),)
+
+    def test_slice_of_rope_composes_views(self):
+        piece = taint_str("abcd", P)
+        rope = (piece + "qr" + piece).rangemap
+        view = rope.slice(1, 9).slice(1, 7)
+        expected = [{P}, {P}, set(), set(), {P}, {P}]
+        assert [view.policies_at(i) for i in range(view.length)] == expected
+
+    def test_repeat_is_deferred(self):
+        base = RangeMap.uniform(2, PolicySet.of(P))
+        repeated = base.repeat(100)
+        assert not repeated.is_materialized()
+        assert repeated.ranges == (PolicyRange(0, 200, PolicySet.of(P)),)
+
+    def test_lazy_rope_serializes_identically_to_eager(self):
+        piece = taint_str("ab", P)
+        lazy = (piece + "cd" + piece).rangemap
+        eager = RangeMap(
+            6,
+            [
+                PolicyRange(0, 2, PolicySet.of(P)),
+                PolicyRange(4, 6, PolicySet.of(P)),
+            ],
+        )
+        assert dumps_rangemap(lazy) == dumps_rangemap(eager)
+
+
+class TestEncodePerSegment:
+    def test_multibyte_segments_match_per_character_oracle(self):
+        text = "aé漢z\U0001f600b"
+        rmap = RangeMap(
+            len(text),
+            [
+                PolicyRange(1, 3, PolicySet.of(P)),
+                PolicyRange(4, 5, PolicySet.of(UntrustedData("bob"))),
+            ],
+        )
+        tainted = TaintedStr(text, rmap)
+        encoded = tainted.encode("utf-8")
+        # Oracle: the retired per-character walk.
+        offset = 0
+        expected = []
+        for index in range(len(text)):
+            chunk = text[index].encode("utf-8")
+            pset = tainted.policies_at(index)
+            if pset:
+                expected.append(PolicyRange(offset, offset + len(chunk), pset))
+            offset += len(chunk)
+        assert encoded.rangemap == RangeMap(offset, expected)
+
+    def test_uniform_fast_path(self):
+        tainted = taint_str("héllo", P)
+        encoded = tainted.encode()
+        nbytes = len("héllo".encode())
+        assert encoded.rangemap.ranges == (PolicyRange(0, nbytes, PolicySet.of(P)),)
+
+
+class TestInternedSets:
+    def test_construction_interns(self):
+        first = PolicySet.of(UntrustedData("alice"))
+        second = PolicySet.of(UntrustedData("alice"))
+        assert first is second
+
+    def test_deserialize_rehydrates_to_interned_instance(self):
+        live = PolicySet.of(P)
+        assert deserialize_policyset(serialize_policyset(live)) is live
+
+
+class TestMergeMemo:
+    def test_cache_hits_for_repeated_pairs(self):
+        left = PolicySet.of(UntrustedData("a"))
+        right = PolicySet.of(UntrustedData("b"))
+        clear_merge_cache()
+        merge_policysets(left, right)
+        before = merge_cache_info()
+        merge_policysets(left, right)
+        after = merge_cache_info()
+        assert after["hits"] == before["hits"] + 1
+        assert after["size"] == before["size"]
+
+    def test_merge_cacheable_opt_out(self):
+        class StatefulPolicy(Policy):
+            merge_cacheable = False
+            calls = 0
+
+            def merge(self, other_policies):
+                type(self).calls += 1
+                return (self,)
+
+        stateful = PolicySet.of(StatefulPolicy())
+        other = PolicySet.of(UntrustedData("x"))
+        clear_merge_cache()
+        merge_policysets(stateful, other)
+        merge_policysets(stateful, other)
+        assert StatefulPolicy.calls == 2
+        assert merge_cache_info()["size"] == 0
