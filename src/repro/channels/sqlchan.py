@@ -517,11 +517,27 @@ class Database:
                 self._blob_cache.clear()
             self._blob_cache[serialized] = policies
         if policies is None:
+            self._record_scan(False, None, context)
             return False
         for policy in policies:
             if policy.scan_predicate(context) is not True:
+                self._record_scan(False, policies, context)
                 return False
+        self._record_scan(True, policies, context)
         return True
+
+    def _record_scan(self, cleared: bool, policies, context) -> None:
+        """Audit one enforce-mode scan decision (per distinct blob — the
+        per-execution memo in ``_plan_clearance`` already dedupes).  A
+        not-cleared blob is not a violation: the plan falls back to the
+        observe path for it, so the verdict is what the recorder reports."""
+        from ..audit.recorder import recorder_for
+        recorder = recorder_for(self.env)
+        if recorder is not None:
+            recorder.record("sql.scan",
+                            verdict="allow" if cleared else "deny",
+                            context=context, policies=policies,
+                            channel="sql")
 
     def _blob_policies(self, record) -> Optional[List]:
         tolerant = self.tolerant_policies

@@ -14,6 +14,18 @@ class ResinError(Exception):
     """Base class for all RESIN runtime errors."""
 
 
+class ResinWarning(UserWarning):
+    """A non-fatal data-flow hazard the runtime cannot fix itself.
+
+    Emitted (via :mod:`warnings`) where the runtime must proceed but the
+    application is probably losing protection — e.g.
+    ``TaintedStr.__format__`` discarding a non-empty policy set because the
+    interpreter joins f-string pieces as plain ``str``.  Paired with a
+    ``policy_dropped`` audit event when a recorder is active, so the hazard
+    is forensically visible even when warnings are silenced.
+    """
+
+
 class PolicyViolation(ResinError):
     """A data flow assertion failed.
 

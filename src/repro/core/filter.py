@@ -16,7 +16,22 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Type
 
 from .context import FilterContext, as_context
 from .policy import Policy
-from .exceptions import FilterError
+from .exceptions import FilterError, PolicyViolation
+
+#: Lazily-bound :func:`repro.audit.recorder.recorder_for` (audit imports
+#: core, so core reaches back only on first use, and only if something
+#: enabled audit for this process — the common no-audit path pays one
+#: module-global check).
+_recorder_for = None
+
+
+def _audit_recorder(context):
+    """The recorder observing this boundary's environment, or ``None``."""
+    global _recorder_for
+    if _recorder_for is None:
+        from ..audit.recorder import recorder_for
+        _recorder_for = recorder_for
+    return _recorder_for(getattr(context, "env", None))
 
 
 class Filter:
@@ -70,19 +85,59 @@ class DefaultFilter(Filter):
 
     def filter_write(self, data: Any, offset: int = 0) -> Any:
         from .api import policy_get
-        for policy in policy_get(data):
-            export_check = getattr(policy, "export_check", None)
-            if callable(export_check):
-                export_check(self.context)
+        policies = policy_get(data)
+        if not policies:
+            return data
+        recorder = _audit_recorder(self.context)
+        if recorder is None:
+            for policy in policies:
+                export_check = getattr(policy, "export_check", None)
+                if callable(export_check):
+                    export_check(self.context)
+            return data
+        # Audited path: same checks, same order, same exceptions — the
+        # recorder only observes the verdict (deny re-raises unchanged).
+        rangemap = getattr(data, "rangemap", None)
+        try:
+            for policy in policies:
+                export_check = getattr(policy, "export_check", None)
+                if callable(export_check):
+                    export_check(self.context)
+        except PolicyViolation as exc:
+            recorder.record("export", verdict="deny", context=self.context,
+                            policies=policies, rangemap=rangemap,
+                            violation=exc)
+            raise
+        recorder.record("export", verdict="allow", context=self.context,
+                        policies=policies, rangemap=rangemap)
         return data
 
     def filter_func(self, func: Callable, args: tuple, kwargs: dict) -> Any:
         from .api import policy_get
+        recorder = _audit_recorder(self.context)
+        checked: list = []
         for value in list(args) + list(kwargs.values()):
-            for policy in policy_get(value):
-                export_check = getattr(policy, "export_check", None)
-                if callable(export_check):
-                    export_check(self.context)
+            policies = policy_get(value)
+            if not policies:
+                continue
+            try:
+                for policy in policies:
+                    export_check = getattr(policy, "export_check", None)
+                    if callable(export_check):
+                        export_check(self.context)
+            except PolicyViolation as exc:
+                if recorder is not None:
+                    recorder.record(
+                        "export", verdict="deny", context=self.context,
+                        policies=policies,
+                        rangemap=getattr(value, "rangemap", None),
+                        violation=exc)
+                raise
+            if recorder is not None:
+                checked.extend(policies)
+        if recorder is not None and checked:
+            recorder.record("export", verdict="allow", context=self.context,
+                            policies=checked)
         return func(*args, **kwargs)
 
 

@@ -35,7 +35,8 @@ from typing import Any, Dict, List, Optional, Tuple
 from .context import FilterContext
 from .filter import Filter
 
-__all__ = ["RequestContext", "current_request", "request_scoped_context"]
+__all__ = ["RequestContext", "current_request", "request_scoped_context",
+           "stamp_request_id"]
 
 #: The request bound to the running thread/task.  ``None`` means "no request
 #: in flight" — the substrates then fall back to their instance attributes,
@@ -47,6 +48,27 @@ _current: contextvars.ContextVar[Optional["RequestContext"]] = \
 def current_request() -> Optional["RequestContext"]:
     """The :class:`RequestContext` active on this thread/task, or ``None``."""
     return _current.get()
+
+
+def stamp_request_id(env, request=None) -> Optional[int]:
+    """The stable id for ``request``, assigned on first stamp.
+
+    Every front end calls this when it binds a :class:`RequestContext`;
+    the first caller draws the next id from ``env.next_request_id()`` and
+    writes it onto ``request.id``, later (nested) bindings for the same
+    request — e.g. the socket server's connection-level context around the
+    async dispatcher's own — reuse it, so one request carries exactly one
+    id end to end.  Returns ``None`` when ``env`` has no id source.
+    """
+    if request is not None:
+        rid = getattr(request, "id", None)
+        if rid is not None:
+            return rid
+    source = getattr(env, "next_request_id", None)
+    rid = source() if callable(source) else None
+    if request is not None and rid is not None:
+        request.id = rid
+    return rid
 
 
 def request_scoped_context(context) -> FilterContext:
@@ -95,12 +117,16 @@ class RequestContext:
 
     def __init__(self, env=None, user: Optional[str] = None, *,
                  priv_chair: bool = False, request=None,
-                 http=None, **extra: Any):
+                 http=None, request_id: Optional[int] = None, **extra: Any):
         #: The environment serving this request (shared across requests).
         self.env = env
         #: The authenticated principal, or None for anonymous requests.
         self.user = user
         self.priv_chair = bool(priv_chair)
+        #: Environment-unique monotonic id stamped at dispatch time (all
+        #: front ends).  Correlates log lines, audit events and violations
+        #: for one request; ``None`` for unstamped ad-hoc contexts.
+        self.request_id = request_id
         #: The web Request being served, if any (set by WebApplication /
         #: Dispatcher so nested handle() calls recognise their own context).
         self.request = request

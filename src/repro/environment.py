@@ -17,6 +17,7 @@ what lets many tenants/requests run concurrently in one interpreter.
 
 from __future__ import annotations
 
+import itertools
 from typing import Optional
 
 from .channels.httpout import HTTPOutputChannel
@@ -50,6 +51,20 @@ class Environment:
         self.mail = MailTransport(registry=self.registry, env=self)
         self.sessions = SessionStore()
         self.interpreter = Interpreter(self)
+        #: Monotonic request-id source (see :meth:`next_request_id`).
+        self._request_ids = itertools.count(1)
+
+    def next_request_id(self) -> int:
+        """The next environment-unique request id.
+
+        Stamped into :class:`~repro.core.request_context.RequestContext` at
+        dispatch time by every front end (thread pool, asyncio, socket
+        server) and onto the web ``Request`` itself, so middleware log
+        lines, audit events and policy violations all correlate on one
+        number.  ``itertools.count`` advances atomically under the GIL, so
+        concurrent dispatchers never hand out duplicates.
+        """
+        return next(self._request_ids)
 
     # -- channel factories ------------------------------------------------------
 

@@ -38,7 +38,7 @@ import copy
 from typing import Any, Dict, Iterator, List, Optional
 
 from ..core.context import FilterContext
-from ..core.exceptions import FileSystemError
+from ..core.exceptions import FileSystemError, PolicyViolation
 from ..core.filter import Filter
 from ..core.registry import resolve_registry
 from ..core.request_context import current_request
@@ -336,7 +336,7 @@ class ResinFS:
         prepared = copy.copy(flt)
         context = FilterContext()
         context.update(flt.context)
-        context.env = getattr(flt.context, "env", None)
+        context.env = getattr(flt.context, "env", None) or self.env
         context.update(self.request_context)
         context.setdefault("type", "file")
         context["path"] = path
@@ -352,7 +352,11 @@ class ResinFS:
 
     def _invoke_persistent_write(self, path: str, data):
         for flt in self._guarding_filters(path):
-            data = self._prepare_filter(flt, path).filter_write(data)
+            try:
+                data = self._prepare_filter(flt, path).filter_write(data)
+            except PolicyViolation as exc:
+                self._record_deny("write", path, data, exc)
+                raise
         return data
 
     def _check_directory_mutation(self, op: str, path: str) -> None:
@@ -362,17 +366,41 @@ class ResinFS:
         for flt in self._guarding_filters(path):
             prepared = self._prepare_filter(flt, path, op)
             checker = getattr(prepared, "check_mutation", None)
-            if callable(checker):
-                checker(op, path, prepared.context)
-            else:
-                prepared.filter_write(TaintedStr(path))
+            try:
+                if callable(checker):
+                    checker(op, path, prepared.context)
+                else:
+                    prepared.filter_write(TaintedStr(path))
+            except PolicyViolation as exc:
+                self._record_deny(op, path, None, exc)
+                raise
+
+    def _record_deny(self, op: str, path: str, data, exc) -> None:
+        """Audit one xattr-policy (persistent filter) denial.  Called with
+        the subtree lock held — recording is only a queue append; the audit
+        writer thread does the I/O, never this one."""
+        from ..audit.recorder import recorder_for
+
+        recorder = recorder_for(self.env)
+        if recorder is not None:
+            context = FilterContext(
+                type="file", path=path, operation=op, **self.request_context
+            )
+            recorder.record(
+                "fs.deny",
+                verdict="deny",
+                context=context,
+                policies=getattr(exc, "policy", None) and [exc.policy],
+                rangemap=getattr(data, "rangemap", None),
+                violation=exc,
+            )
 
     # -- default filters -----------------------------------------------------------
 
     def _default_filter(self, path: str) -> Filter:
-        return self.registry.make_default_filter(
-            "file", FilterContext(type="file", path=path, **self.request_context)
-        )
+        context = FilterContext(type="file", path=path, **self.request_context)
+        context.env = self.env
+        return self.registry.make_default_filter("file", context)
 
     # -- policy persistence -----------------------------------------------------------
 

@@ -38,6 +38,7 @@ channel constructors                   ``resin.channel(kind, ...)``
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Dict, Optional, Type
 
 from .core.api import (has_policy, policy_add, policy_get, policy_remove,
@@ -47,7 +48,8 @@ from .core.filter import Filter
 from .core.policy import Policy
 from .core.policyset import PolicySet
 from .core.registry import FilterRegistry
-from .core.request_context import RequestContext, current_request
+from .core.request_context import (RequestContext, current_request,
+                                   stamp_request_id)
 from .environment import Environment
 
 __all__ = ["Resin", "BoundPolicy", "Assertion", "RequestScope"]
@@ -233,7 +235,7 @@ class RequestScope:
         # concurrent requests on other threads are never disturbed.
         self.request_context = RequestContext(
             env=env, user=self.user, priv_chair=self.priv_chair,
-            **self.context)
+            request_id=stamp_request_id(env), **self.context)
         self.request_context.__enter__()
         try:
             self.http = env.http_channel(user=self.user,
@@ -279,6 +281,7 @@ class Resin:
     @classmethod
     def open(cls, path: str, *, sync: str = "fsync", group_commit: bool = True,
              tolerant: bool = False, checkpoint_bytes: Optional[int] = None,
+             audit: Optional[bool] = None,
              **env_kwargs: Any) -> "Resin":
         """Open (or create) a durable environment stored at ``path``.
 
@@ -295,6 +298,12 @@ class Resin:
 
         ``tolerant=True`` loads records referencing unknown policy/filter
         classes as deny-by-default placeholders instead of failing recovery.
+
+        ``audit`` controls the flow-provenance recorder: ``True`` opens
+        (recovering) the audit ledger under ``<path>/audit``; ``None`` (the
+        default) reopens it only if a previous run created one — so a store
+        that was auditing resumes auditing after restart; ``False`` leaves
+        audit off.
         """
         from .storage.durability import DEFAULT_CHECKPOINT_BYTES, Durability
         if checkpoint_bytes is None:
@@ -302,6 +311,9 @@ class Resin:
         resin = cls(**env_kwargs)
         Durability.open(resin.env, path, sync=sync, group_commit=group_commit,
                         checkpoint_bytes=checkpoint_bytes, tolerant=tolerant)
+        audit_dir = os.path.join(path, "audit")
+        if audit is True or (audit is None and os.path.isdir(audit_dir)):
+            resin.enable_audit(audit_dir)
         return resin
 
     @property
@@ -311,6 +323,44 @@ class Resin:
         ``resin.services.get("storage.durability")``)."""
         from .storage.durability import SERVICE_NAME
         return self.env.services.get(SERVICE_NAME)
+
+    # -- audit / provenance ------------------------------------------------------
+
+    @property
+    def audit(self):
+        """The :class:`~repro.audit.recorder.AuditRecorder` observing this
+        environment, or ``None`` (sugar for
+        ``resin.services.get("audit.recorder")``).  Query it after the fact::
+
+            resin.audit.events(policy=PasswordPolicy, verdict="deny")
+            resin.audit.provenance_of(password_policy)
+        """
+        from .audit.recorder import SERVICE_NAME
+        return self.env.services.get(SERVICE_NAME)
+
+    def enable_audit(self, path: Optional[str] = None,
+                     **recorder_kwargs: Any):
+        """Attach a flow-provenance recorder to this environment.
+
+        With ``path``, events land in an append-only
+        :class:`~repro.audit.ledger.AuditLedger` under that directory
+        (recovered in place if it already exists); without, they stay in a
+        bounded in-memory :class:`~repro.audit.ledger.MemoryLedger`.  From
+        then on every export check, declassification and policy violation
+        in this environment is recorded — observation only, verdicts never
+        change.  Returns the recorder (also reachable as ``resin.audit``).
+        """
+        from .audit.ledger import AuditLedger, MemoryLedger
+        from .audit.recorder import AuditRecorder
+        existing = self.audit
+        if existing is not None:
+            return existing
+        queue_limit = recorder_kwargs.pop("queue_limit", 4096)
+        if path is not None:
+            ledger = AuditLedger(path, **recorder_kwargs)
+        else:
+            ledger = MemoryLedger(**recorder_kwargs)
+        return AuditRecorder(ledger, queue_limit=queue_limit).attach(self.env)
 
     # -- handy substrate accessors ----------------------------------------------
 
@@ -379,7 +429,21 @@ class Resin:
 
     def declassify(self, data: Any) -> Any:
         """A plain, policy-free copy of ``data`` (``untaint``).  Only
-        boundary code should call this."""
+        boundary code should call this.
+
+        When an audit recorder is attached, every declassification is
+        recorded with the policies being stripped and the taint provenance
+        of the data — declassify is the one legal way secrets shed their
+        protection, so it is exactly what forensics needs to see.
+        """
+        from .audit.recorder import recorder_for
+        recorder = recorder_for(self.env)
+        if recorder is not None:
+            policies = policy_get(data)
+            if policies:
+                recorder.record("declassify", verdict="allow",
+                                policies=policies,
+                                rangemap=getattr(data, "rangemap", None))
         return _untaint(data)
 
     def policy(self, policy_cls: Type[Policy], *args: Any,

@@ -51,7 +51,7 @@ import contextvars
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, List, Optional
 
-from ..core.request_context import RequestContext
+from ..core.request_context import RequestContext, stamp_request_id
 from ..web.request import Request
 
 __all__ = ["AsyncDispatcher"]
@@ -130,7 +130,10 @@ class AsyncDispatcher:
                     # the RequestContext — no executor hop, and cancelling
                     # the task unwinds context and overlays on the loop.
                     async with RequestContext(
-                        env=self.resin.env, user=request.user, request=request
+                        env=self.resin.env,
+                        user=request.user,
+                        request=request,
+                        request_id=stamp_request_id(self.resin.env, request),
                     ):
                         return await self.app.handle_async(request)
                 loop = asyncio.get_running_loop()
@@ -175,7 +178,13 @@ class AsyncDispatcher:
         return asyncio.run(self.dispatch_all(requests, return_exceptions))
 
     def _serve(self, request: Request):
-        with RequestContext(env=self.resin.env, user=request.user, request=request):
+        env = self.resin.env
+        with RequestContext(
+            env=env,
+            user=request.user,
+            request=request,
+            request_id=stamp_request_id(env, request),
+        ):
             return self.app.handle(request)
 
     def _is_native_async(self, request: Request) -> bool:

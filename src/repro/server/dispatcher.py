@@ -35,7 +35,7 @@ import contextvars
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Iterable, List
 
-from ..core.request_context import RequestContext
+from ..core.request_context import RequestContext, stamp_request_id
 from ..web.request import Request
 
 __all__ = ["Dispatcher"]
@@ -78,7 +78,13 @@ class Dispatcher:
         return self._executor.submit(snapshot.run, self._serve, request)
 
     def _serve(self, request: Request):
-        with RequestContext(env=self.resin.env, user=request.user, request=request):
+        env = self.resin.env
+        with RequestContext(
+            env=env,
+            user=request.user,
+            request=request,
+            request_id=stamp_request_id(env, request),
+        ):
             return self.app.handle(request)
 
     def dispatch(self, request: Request):

@@ -34,7 +34,7 @@ from http import HTTPStatus
 from typing import List, Optional, Tuple
 
 from ...core.exceptions import PolicyViolation
-from ...core.request_context import RequestContext
+from ...core.request_context import RequestContext, stamp_request_id
 from ...web.response import is_stream
 from .parser import KNOWN_METHODS, ParsedRequest, ParseError, RequestParser
 
@@ -190,7 +190,10 @@ class HTTPConnection:
             # (nested) binding so that deferred stream generators still see
             # the request's user and environment while they are drained.
             async with RequestContext(
-                env=self.server.env, user=request.user, request=request
+                env=self.server.env,
+                user=request.user,
+                request=request,
+                request_id=stamp_request_id(self.server.env, request),
             ):
                 channel = await self.server.dispatcher.dispatch(request)
                 return await self._write_response(parsed, channel, keep_alive)

@@ -6,7 +6,8 @@ appended to the tail of a log segment, so the storage cost of a write is a
 sequential append — never a random update — and the random-access state
 lives only in memory, rebuilt on recovery from snapshot + log tail.
 
-Wire format — each record is length-prefixed and checksummed::
+Wire format — each record is length-prefixed and checksummed (the framing
+lives in :mod:`repro.storage.framing`, shared with the audit ledger)::
 
     +----------------+----------------+----------------------+
     | length (4B BE) | crc32 (4B BE)  | payload (JSON, UTF-8) |
@@ -31,126 +32,53 @@ in-memory throughput (see ``benchmarks/bench_wal_commit.py``).
 
 from __future__ import annotations
 
-import json
 import os
-import struct
 import threading
-import zlib
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from ..core.exceptions import SerializationError
+from . import framing
+from .framing import SEGMENT_PREFIX, decode_value, encode_value
 
 __all__ = ["WriteAheadLog", "encode_record", "decode_records",
            "encode_value", "decode_value", "SEGMENT_PREFIX"]
 
-_HEADER = struct.Struct(">II")
-
 #: WAL segment files are ``seg-<id>.wal`` inside the log directory.
-SEGMENT_PREFIX = "seg-"
 _SEGMENT_SUFFIX = ".wal"
 
-#: Hard upper bound on one record's payload.  Enforced symmetrically: the
-#: *writer* refuses to encode a larger record (:func:`encode_record` raises,
-#: so an oversized mutation fails loudly at log time instead of being
-#: acknowledged durable), and the *reader* treats a larger length prefix as
-#: corruption.  Snapshot frames are exempt (``max_bytes=None``): they are
-#: single trusted frames whose length is already bounded by the file size.
-MAX_RECORD_BYTES = 64 * 1024 * 1024
+#: Hard upper bound on one record's payload (see
+#: :data:`repro.storage.framing.MAX_RECORD_BYTES`).  Kept as a module
+#: attribute here so existing callers — and tests that shrink it — keep
+#: working: the wrappers below resolve it at call time.
+MAX_RECORD_BYTES = framing.MAX_RECORD_BYTES
 
 #: Sentinel meaning "use the module's MAX_RECORD_BYTES at call time".
 _DEFAULT_LIMIT = object()
 
 
-def encode_value(value: Any) -> Any:
-    """Encode one stored cell/file value to a JSON-able form.
-
-    Table cells and file contents are plain Python data by the time they
-    reach the log (policies travel separately, already serialized by
-    :mod:`repro.core.serialization` into policy columns and xattrs), so the
-    only non-JSON type to handle is ``bytes``.
-    """
-    if isinstance(value, bytes):
-        return {"__bytes__": value.hex()}
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    raise SerializationError(
-        f"cannot log value of type {type(value).__name__}")
-
-
-def decode_value(value: Any) -> Any:
-    if isinstance(value, dict) and "__bytes__" in value:
-        return bytes.fromhex(value["__bytes__"])
-    return value
-
-
 def encode_record(record: Dict[str, Any], *, max_bytes=_DEFAULT_LIMIT) -> bytes:
-    """One framed record: header (length + crc32) and JSON payload.
-
-    Raises :class:`~repro.core.exceptions.SerializationError` when the
-    payload exceeds ``max_bytes`` (default: :data:`MAX_RECORD_BYTES`): a
-    frame over the limit would be *written* fine but rejected as a corrupt
-    length prefix on replay, silently dropping it and every later record —
-    so the writer must fail loudly instead.  ``max_bytes=None`` disables the
-    check (snapshot frames, which get no reader-side limit either).
-    """
-    payload = json.dumps(record, separators=(",", ":"),
-                         sort_keys=True).encode("utf-8")
+    """One framed record (see :func:`repro.storage.framing.encode_record`),
+    with the size limit defaulting to this module's ``MAX_RECORD_BYTES``."""
     limit = MAX_RECORD_BYTES if max_bytes is _DEFAULT_LIMIT else max_bytes
-    if limit is not None and len(payload) > limit:
-        raise SerializationError(
-            f"record payload is {len(payload)} bytes, over the {limit}-byte "
-            "frame limit; refusing to write a record replay would reject as "
-            "corrupt")
-    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+    return framing.encode_record(record, max_bytes=limit)
 
 
 def decode_records(data: bytes, *,
                    max_record_bytes=_DEFAULT_LIMIT
                    ) -> Tuple[List[Dict[str, Any]], int]:
-    """Decode every complete, valid record from ``data``.
-
-    Returns ``(records, valid_length)`` where ``valid_length`` is the byte
-    offset of the first invalid/torn frame (== ``len(data)`` when the whole
-    buffer is clean).  Replay uses the records; :meth:`WriteAheadLog.open`
-    uses the offset to truncate the torn tail.  ``max_record_bytes`` must
-    match what the writer enforced (``None`` for snapshot frames).
-    """
+    """Decode every complete, valid record from ``data`` (see
+    :func:`repro.storage.framing.decode_records`), with the size limit
+    defaulting to this module's ``MAX_RECORD_BYTES``."""
     limit = (MAX_RECORD_BYTES if max_record_bytes is _DEFAULT_LIMIT
              else max_record_bytes)
-    records: List[Dict[str, Any]] = []
-    offset = 0
-    total = len(data)
-    while offset + _HEADER.size <= total:
-        length, crc = _HEADER.unpack_from(data, offset)
-        start = offset + _HEADER.size
-        if (limit is not None and length > limit) or start + length > total:
-            break
-        payload = data[start:start + length]
-        if zlib.crc32(payload) != crc:
-            break
-        try:
-            record = json.loads(payload.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            break
-        if not isinstance(record, dict):
-            break
-        records.append(record)
-        offset = start + length
-    return records, offset
+    return framing.decode_records(data, max_record_bytes=limit)
 
 
 def _segment_name(segment_id: int) -> str:
-    return f"{SEGMENT_PREFIX}{segment_id:08d}{_SEGMENT_SUFFIX}"
+    return framing.segment_name(segment_id, _SEGMENT_SUFFIX)
 
 
 def _parse_segment_id(name: str) -> Optional[int]:
-    if not (name.startswith(SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)):
-        return None
-    middle = name[len(SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
-    try:
-        return int(middle)
-    except ValueError:
-        return None
+    return framing.parse_segment_id(name, _SEGMENT_SUFFIX)
 
 
 class WriteAheadLog:

@@ -472,8 +472,14 @@ class TaintedStr(str):
 
     def __format__(self, spec):
         # Formatting through f-strings loses policies (the interpreter joins
-        # the pieces as plain str).  We still return the correct text.
-        return str.__format__(self, spec)
+        # the pieces as plain str).  The text stays correct, but a non-empty
+        # policy set is being discarded — fail loudly: a ResinWarning for
+        # the developer, and a ``policy_dropped`` audit event when a
+        # recorder is active so the drop is forensically visible.
+        result = str.__format__(self, spec)
+        if not self._rangemap.is_empty():
+            _report_policy_drop(self, spec)
+        return result
 
     def __repr__(self):
         return str.__repr__(self)
@@ -482,6 +488,42 @@ class TaintedStr(str):
         # Pickling keeps the text but intentionally drops the policy map:
         # persistence of policies is the job of the storage filters.
         return (str, (str(self),))
+
+
+def _report_policy_drop(value: "TaintedStr", spec: str) -> None:
+    """Make a ``__format__`` policy drop loud: warn, and audit if enabled.
+
+    Best-effort by design — reporting must never change the formatting
+    result or raise into the caller.
+    """
+    import warnings
+
+    from ..core.exceptions import ResinWarning
+    from ..core.request_context import current_request
+
+    try:
+        from ..audit.recorder import recorder_for
+
+        rctx = current_request()
+        recorder = recorder_for(getattr(rctx, "env", None))
+        if recorder is not None:
+            recorder.record(
+                "policy_dropped",
+                verdict="allow",
+                policies=value.policies(),
+                rangemap=value._rangemap,
+                detail={"op": "format", "spec": spec},
+            )
+    except Exception:
+        pass
+    warnings.warn(
+        ResinWarning(
+            "formatting a TaintedStr discards its policies (the interpreter "
+            "joins f-string pieces as plain str); concatenate with + or "
+            "taint the formatted result to keep them"
+        ),
+        stacklevel=3,
+    )
 
 
 def policies_of_value(value) -> PolicySet:
@@ -513,7 +555,13 @@ def _concat_all(pieces: Iterable[TaintedStr]) -> TaintedStr:
 
 
 def _format_value(obj, spec: str) -> TaintedStr:
-    formatted = format(obj, spec)
+    if isinstance(obj, str):
+        # The policies are re-applied to the result below, so nothing is
+        # dropped on this path — bypass TaintedStr.__format__ and its
+        # policy-drop reporting.
+        formatted = str.__format__(obj, spec)
+    else:
+        formatted = format(obj, spec)
     if isinstance(obj, str) and formatted == str(obj):
         return _as_tainted(obj)
     return TaintedStr(

@@ -36,7 +36,7 @@ from typing import Any, Callable, List, Optional, Tuple
 from ..channels.httpout import HTTPOutputChannel
 from ..core.exceptions import HTTPError
 from ..core.filter import Filter
-from ..core.request_context import RequestContext, current_request
+from ..core.request_context import RequestContext, current_request, stamp_request_id
 from ..fs import path as fspath
 from .request import Request
 from .response import Response
@@ -283,7 +283,12 @@ class WebApplication:
         rctx = current_request()
         if rctx is not None and rctx.request is request and rctx.env is self.env:
             return self._handle(request, rctx)
-        with RequestContext(env=self.env, user=request.user, request=request) as rctx:
+        with RequestContext(
+            env=self.env,
+            user=request.user,
+            request=request,
+            request_id=stamp_request_id(self.env, request),
+        ) as rctx:
             return self._handle(request, rctx)
 
     async def handle_async(self, request: Request) -> HTTPOutputChannel:
@@ -302,7 +307,10 @@ class WebApplication:
         if rctx is not None and rctx.request is request and rctx.env is self.env:
             return await self._handle_async(request, rctx)
         async with RequestContext(
-            env=self.env, user=request.user, request=request
+            env=self.env,
+            user=request.user,
+            request=request,
+            request_id=stamp_request_id(self.env, request),
         ) as rctx:
             return await self._handle_async(request, rctx)
 

@@ -41,6 +41,11 @@ class Request:
         #: directly by tests.
         self.user = user
         self.remote_addr = remote_addr
+        #: Environment-unique monotonic request id, stamped by the first
+        #: front end / request scope that serves this request (see
+        #: :func:`repro.core.request_context.stamp_request_id`).  ``None``
+        #: until dispatched.
+        self.id: Optional[int] = None
         #: The server-side session resolved for this request, if any (set by
         #: :class:`~repro.web.routing.SessionMiddleware`).
         self.session = None

@@ -422,17 +422,26 @@ class ScopedMiddleware(Middleware):
 
 
 class RequestLogMiddleware(Middleware):
-    """Records one ``(method, path, user, status)`` entry per request — the
-    canonical server-level concern to scope to a subtree.  Entries land in
-    the list passed in (or an internal one, exposed as ``entries``); the
-    response phase runs after the handler, so ``status`` is final."""
+    """Records one ``(request_id, method, path, user, status)`` entry per
+    request — the canonical server-level concern to scope to a subtree.
+    Entries land in the list passed in (or an internal one, exposed as
+    ``entries``); the response phase runs after the handler, so ``status``
+    is final.  ``request_id`` is the environment-unique id stamped at
+    dispatch time (``request.id``) — the same number audit events and
+    violations carry, so one grep correlates a request across all three."""
 
     def __init__(self, entries: Optional[List[tuple]] = None):
         self.entries: List[tuple] = entries if entries is not None else []
 
     def process_response(self, request, response):
         self.entries.append(
-            (request.method, request.path, request.user, response.status)
+            (
+                getattr(request, "id", None),
+                request.method,
+                request.path,
+                request.user,
+                response.status,
+            )
         )
         return None
 

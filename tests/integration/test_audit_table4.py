@@ -1,0 +1,47 @@
+"""Table 4 verdict parity with the audit recorder enabled.
+
+The acceptance bar for the audit subsystem: with a recorder observing
+every scenario environment (via the process-wide :func:`default_audit`
+hook — the scenarios build their own environments internally), the attack
+verdicts are byte-identical across serial, threaded, async and socket
+front ends, and identical to the no-audit baseline.  Recording observes;
+it never decides.
+"""
+
+import pytest
+
+from repro.audit.ledger import MemoryLedger
+from repro.audit.recorder import AuditRecorder, default_audit
+from repro.evaluation import table4
+
+
+@pytest.fixture
+def recorder():
+    recorder = AuditRecorder(MemoryLedger())
+    yield recorder
+    recorder.close()
+
+
+class TestAuditedVerdictParity:
+    def test_serial_verdicts_unchanged_by_recorder(self, recorder):
+        baseline = table4.verdicts(table4.run_all(True))
+        with default_audit(recorder):
+            audited = table4.verdicts(table4.run_all(True))
+        assert audited == baseline
+        recorder.flush()
+        # ... and the recorder actually saw the attacks, not an empty run.
+        assert recorder.events_recorded > 0
+        denies = [e for e in recorder.ledger.iter_events()
+                  if e.get("verdict") == "deny"]
+        assert denies
+
+    @pytest.mark.parametrize("front_end", ["threads", "async", "socket"])
+    def test_concurrent_front_ends_match_serial(self, recorder, front_end):
+        serial = table4.verdicts(table4.run_all(True))
+        workers = 8 if front_end == "socket" else 16
+        with default_audit(recorder):
+            audited_serial = table4.verdicts(table4.run_all(True))
+            concurrent = table4.verdicts(table4.run_all_concurrent(
+                True, workers=workers, front_end=front_end))
+        assert audited_serial == serial
+        assert concurrent == serial

@@ -549,8 +549,8 @@ class TestRequestLogMiddleware:
 
         app.handle(Request("/page", user="alice"))
         app.handle(Request("/missing", user="bob"))
-        assert log.entries == [("GET", "/page", "alice", 200),
-                               ("GET", "/missing", "bob", 404)]
+        assert log.entries == [(1, "GET", "/page", "alice", 200),
+                               (2, "GET", "/missing", "bob", 404)]
 
     def test_scoped_log_sees_only_its_subtree(self, env):
         from repro.web import RequestLogMiddleware
@@ -568,4 +568,4 @@ class TestRequestLogMiddleware:
 
         app.handle(Request("/public", user="eve"))
         app.handle(Request("/admin/panel", user="root"))
-        assert entries == [("GET", "/admin/panel", "root", 200)]
+        assert entries == [(2, "GET", "/admin/panel", "root", 200)]
